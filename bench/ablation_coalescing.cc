@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: request coalescing probability. Section 6.2 observes
+ * that No-RA improves with coalescing but does not beat FOR even at
+ * a perfect 100% coalescing probability; this bench checks that
+ * claim.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: coalescing probability (16 KB files)");
+
+    SystemConfig base;
+    base.streams = 128;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    const std::vector<int> widths{12, 10, 10, 10};
+    bench::printRow({"coalesce", "Segm(s)", "No-RA", "FOR"}, widths);
+
+    const double probs[] = {0.0, 0.25, 0.5, 0.75, 0.87, 1.0};
+    for (double p : probs) {
+        SyntheticParams sp;
+        sp.fileSizeBytes = 16 * kKiB;
+        sp.numRequests = 10000;
+        sp.coalesceProb = p;
+        SyntheticWorkload w = makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks());
+
+        StripingMap striping(base.disks,
+                             base.stripeUnitBytes /
+                                 base.disk.blockSize,
+                             base.disk.totalBlocks());
+        const std::vector<LayoutBitmap> bitmaps =
+            w.image->buildBitmaps(striping);
+
+        const RunResult segm = bench::runSystem(
+            SystemKind::Segm, 0, base, w.trace, bitmaps);
+        const RunResult nora = bench::runSystem(
+            SystemKind::NoRA, 0, base, w.trace, bitmaps);
+        const RunResult forr = bench::runSystem(
+            SystemKind::FOR, 0, base, w.trace, bitmaps);
+
+        const double t0 = static_cast<double>(segm.ioTime);
+        bench::printRow({bench::fmt(p, 2),
+                         bench::fmt(toSeconds(segm.ioTime)),
+                         bench::fmt(nora.ioTime / t0),
+                         bench::fmt(forr.ioTime / t0)},
+                        widths);
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: explicit grouping vs FOR (Section 3's related-work
+ * comparison). Ganger & Kaashoek's explicit grouping lays the small
+ * files of a directory out contiguously so blind read-ahead crossing
+ * a file boundary fetches useful data — but it requires finding and
+ * maintaining a meaningful grouping. FOR needs no grouping.
+ *
+ * Workload: 8 KB files in 8-file directories; 60% of the requests
+ * read a whole directory, the rest one file.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+namespace {
+
+RunResult
+runCase(bool grouped, SystemKind kind, double dir_prob)
+{
+    SystemConfig base;
+    base.streams = 128;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    SyntheticParams sp;
+    sp.numFiles = 200000;
+    sp.fileSizeBytes = 8 * kKiB;
+    sp.numRequests = 6000;
+    sp.dirFiles = 8;
+    sp.dirAccessProb = dir_prob;
+    sp.groupedLayout = grouped;
+
+    SyntheticWorkload w =
+        makeSynthetic(sp, base.disks * base.disk.totalBlocks());
+    StripingMap striping(base.disks,
+                         base.stripeUnitBytes / base.disk.blockSize,
+                         base.disk.totalBlocks());
+    const std::vector<LayoutBitmap> bitmaps =
+        w.image->buildBitmaps(striping);
+    return bench::runSystem(kind, 0, base, w.trace, bitmaps);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: explicit grouping vs FOR (8 KB files, 8-file "
+        "directories)");
+
+    const std::vector<int> widths{24, 12, 12, 12};
+    bench::printRow({"layout", "dir-reads", "Segm(s)", "FOR(s)"},
+                    widths);
+
+    for (const double p : {0.0, 0.6}) {
+        const RunResult seg_scatter =
+            runCase(false, SystemKind::Segm, p);
+        const RunResult for_scatter =
+            runCase(false, SystemKind::FOR, p);
+        bench::printRow({"scattered",
+                         bench::fmtPct(p, 0),
+                         bench::fmt(toSeconds(seg_scatter.ioTime)),
+                         bench::fmt(toSeconds(for_scatter.ioTime))},
+                        widths);
+        const RunResult seg_group =
+            runCase(true, SystemKind::Segm, p);
+        const RunResult for_group =
+            runCase(true, SystemKind::FOR, p);
+        bench::printRow({"grouped (explicit)",
+                         bench::fmtPct(p, 0),
+                         bench::fmt(toSeconds(seg_group.ioTime)),
+                         bench::fmt(toSeconds(for_group.ioTime))},
+                        widths);
+    }
+    std::printf("\nexpect: grouping rescues blind read-ahead only "
+                "when directory reads dominate\nand the grouping "
+                "matches the access pattern; FOR needs neither.\n");
+    return 0;
+}

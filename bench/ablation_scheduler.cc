@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: media request scheduler (FCFS vs LOOK vs C-LOOK vs SSTF).
+ * The paper's controllers use LOOK (Section 6.1); this bench shows
+ * the FOR gains are orthogonal to the scheduling policy.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader("Ablation: media request scheduler");
+
+    SyntheticParams sp;
+    sp.fileSizeBytes = 16 * kKiB;
+    sp.numRequests = 10000;
+
+    SystemConfig base;
+    base.streams = 256;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    SyntheticWorkload w =
+        makeSynthetic(sp, base.disks * base.disk.totalBlocks());
+    StripingMap striping(base.disks,
+                         base.stripeUnitBytes / base.disk.blockSize,
+                         base.disk.totalBlocks());
+    const std::vector<LayoutBitmap> bitmaps =
+        w.image->buildBitmaps(striping);
+
+    const std::vector<int> widths{12, 12, 12, 12};
+    bench::printRow({"scheduler", "Segm(s)", "FOR(s)", "FOR gain"},
+                    widths);
+
+    const SchedulerKind kinds[] = {SchedulerKind::FCFS,
+                                   SchedulerKind::LOOK,
+                                   SchedulerKind::CLOOK,
+                                   SchedulerKind::SSTF};
+    for (SchedulerKind k : kinds) {
+        SystemConfig cfg = base;
+        cfg.scheduler = k;
+        const RunResult segm = bench::runSystem(
+            SystemKind::Segm, 0, cfg, w.trace, bitmaps);
+        const RunResult forr = bench::runSystem(
+            SystemKind::FOR, 0, cfg, w.trace, bitmaps);
+        bench::printRow(
+            {schedulerKindName(k), bench::fmt(toSeconds(segm.ioTime)),
+             bench::fmt(toSeconds(forr.ioTime)),
+             bench::fmtPct(1.0 - static_cast<double>(forr.ioTime) /
+                                     static_cast<double>(segm.ioTime))},
+            widths);
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: segment size (and with it the blind read-ahead size and
+ * segment count: 128 KB/27, 256 KB/13, 512 KB/6 per Table 1), on the
+ * synthetic workload.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: segment size / read-ahead size (16 KB files)");
+
+    const std::vector<int> widths{12, 12, 10, 10, 10};
+    bench::printRow({"seg(KB)", "segments", "Segm(s)", "FOR(s)",
+                     "gain"},
+                    widths);
+
+    for (std::uint64_t seg_kb : {128, 256, 512}) {
+        SystemConfig base;
+        base.streams = 128;
+        base.workers = 64;
+        base.stripeUnitBytes = 128 * kKiB;
+        base.disk.segmentBytes = seg_kb * kKiB;
+
+        SyntheticParams sp;
+        sp.fileSizeBytes = 16 * kKiB;
+        sp.numRequests = 10000;
+        SyntheticWorkload w = makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks());
+
+        StripingMap striping(base.disks,
+                             base.stripeUnitBytes /
+                                 base.disk.blockSize,
+                             base.disk.totalBlocks());
+        const std::vector<LayoutBitmap> bitmaps =
+            w.image->buildBitmaps(striping);
+
+        const RunResult segm = bench::runSystem(
+            SystemKind::Segm, 0, base, w.trace, bitmaps);
+        const RunResult forr = bench::runSystem(
+            SystemKind::FOR, 0, base, w.trace, bitmaps);
+
+        bench::printRow(
+            {std::to_string(seg_kb),
+             std::to_string(base.disk.numSegments()),
+             bench::fmt(toSeconds(segm.ioTime)),
+             bench::fmt(toSeconds(forr.ioTime)),
+             bench::fmtPct(1.0 - static_cast<double>(forr.ioTime) /
+                                     static_cast<double>(segm.ioTime))},
+            widths);
+    }
+    return 0;
+}

@@ -1,0 +1,184 @@
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtsim {
+namespace bench {
+
+double
+workloadScale()
+{
+    if (const char* env = std::getenv("DTSIM_BENCH_SCALE"))
+        return std::atof(env);
+    return 0.2;
+}
+
+void
+printHeader(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void
+printRow(const std::vector<std::string>& cells,
+         const std::vector<int>& widths)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const int w = i < widths.size() ? widths[i] : 12;
+        std::printf("%-*s", w, cells[i].c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+RunResult
+runSystem(SystemKind kind, std::uint64_t hdc_bytes,
+          const SystemConfig& base, const Trace& trace,
+          const std::vector<LayoutBitmap>& bitmaps)
+{
+    SystemConfig cfg = base;
+    cfg.kind = kind;
+    cfg.hdcBytesPerDisk = hdc_bytes;
+
+    std::vector<ArrayBlock> pinned;
+    const std::vector<ArrayBlock>* pinned_ptr = nullptr;
+    if (hdc_bytes > 0) {
+        StripingMap striping(cfg.disks,
+                             cfg.stripeUnitBytes / cfg.disk.blockSize,
+                             cfg.disk.totalBlocks());
+        pinned = selectPinnedBlocks(trace, striping,
+                                    hdcBlocksPerDisk(cfg));
+        pinned_ptr = &pinned;
+    }
+    return runTrace(cfg, trace, &bitmaps, pinned_ptr);
+}
+
+void
+stripingSweep(const ServerModelParams& params,
+              const std::string& figure_title)
+{
+    printHeader(figure_title);
+
+    SystemConfig base;
+    base.streams = params.streams;
+
+    // Build the workload once; bitmaps depend on the striping unit,
+    // so they are rebuilt inside the sweep.
+    ServerWorkload w =
+        makeServerWorkload(params, base.disks *
+                                       base.disk.totalBlocks());
+    const TraceStats ts = computeStats(w.trace);
+    std::printf("workload: %s  records=%llu  blocks=%llu  "
+                "writes=%.1f%%  distinct=%llu  max-block-accesses=%llu\n",
+                params.name.c_str(),
+                static_cast<unsigned long long>(ts.records),
+                static_cast<unsigned long long>(ts.blocks),
+                ts.writeRecordFraction * 100.0,
+                static_cast<unsigned long long>(ts.distinctBlocks),
+                static_cast<unsigned long long>(ts.maxBlockAccesses));
+
+    const std::vector<int> widths{12, 12, 12, 12, 12};
+    printRow({"unit(KB)", "Segm", "Segm+HDC", "FOR", "FOR+HDC"},
+             widths);
+
+    const std::uint64_t units_kb[] = {4, 8, 16, 32, 64, 128, 192, 256};
+    for (std::uint64_t u : units_kb) {
+        SystemConfig cfg = base;
+        cfg.stripeUnitBytes = u * kKiB;
+
+        StripingMap striping(cfg.disks,
+                             cfg.stripeUnitBytes / cfg.disk.blockSize,
+                             cfg.disk.totalBlocks());
+        const std::vector<LayoutBitmap> bitmaps =
+            w.image->buildBitmaps(striping);
+
+        const std::uint64_t hdc = 2 * kMiB;
+        const RunResult segm =
+            runSystem(SystemKind::Segm, 0, cfg, w.trace, bitmaps);
+        const RunResult segm_hdc =
+            runSystem(SystemKind::Segm, hdc, cfg, w.trace, bitmaps);
+        const RunResult forr =
+            runSystem(SystemKind::FOR, 0, cfg, w.trace, bitmaps);
+        const RunResult for_hdc =
+            runSystem(SystemKind::FOR, hdc, cfg, w.trace, bitmaps);
+
+        printRow({std::to_string(u), fmt(toSeconds(segm.ioTime)),
+                  fmt(toSeconds(segm_hdc.ioTime)),
+                  fmt(toSeconds(forr.ioTime)),
+                  fmt(toSeconds(for_hdc.ioTime))},
+                 widths);
+    }
+}
+
+void
+hdcSweep(const ServerModelParams& params,
+         std::uint64_t stripe_unit_bytes,
+         const std::string& figure_title)
+{
+    printHeader(figure_title);
+
+    SystemConfig base;
+    base.streams = params.streams;
+    base.stripeUnitBytes = stripe_unit_bytes;
+
+    ServerWorkload w =
+        makeServerWorkload(params, base.disks *
+                                       base.disk.totalBlocks());
+
+    StripingMap striping(base.disks,
+                         base.stripeUnitBytes / base.disk.blockSize,
+                         base.disk.totalBlocks());
+    const std::vector<LayoutBitmap> bitmaps =
+        w.image->buildBitmaps(striping);
+
+    const std::vector<int> widths{12, 14, 14, 14, 14};
+    printRow({"HDC(KB)", "Segm+HDC(s)", "FOR+HDC(s)", "hitSegm",
+              "hitFOR"},
+             widths);
+
+    const std::uint64_t sizes_kb[] = {0,    256,  512,  1024,
+                                      1536, 2048, 2560, 3072};
+    for (std::uint64_t kb : sizes_kb) {
+        const std::uint64_t hdc = kb * kKiB;
+
+        // FOR additionally spends bitmap space; skip infeasible
+        // points (the paper's FOR+HDC curve stops early too).
+        const std::uint64_t bitmap = base.disk.bitmapBytes();
+        const bool for_fits =
+            hdc + bitmap + 256 * kKiB <= base.disk.usableCacheBytes();
+
+        const RunResult segm =
+            runSystem(SystemKind::Segm, hdc, base, w.trace, bitmaps);
+        std::string for_time = "-";
+        std::string for_hit = "-";
+        if (for_fits) {
+            const RunResult forr = runSystem(SystemKind::FOR, hdc,
+                                             base, w.trace, bitmaps);
+            for_time = fmt(toSeconds(forr.ioTime));
+            for_hit = fmtPct(forr.hdcHitRate);
+        }
+        printRow({std::to_string(kb), fmt(toSeconds(segm.ioTime)),
+                  for_time, fmtPct(segm.hdcHitRate), for_hit},
+                 widths);
+    }
+}
+
+} // namespace bench
+} // namespace dtsim

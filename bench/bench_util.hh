@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: standard
+ * workload scales, aligned table printing, and the Segm baseline
+ * normalization the paper uses.
+ */
+
+#ifndef DTSIM_BENCH_BENCH_UTIL_HH
+#define DTSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "hdc/hdc_planner.hh"
+#include "workload/server_models.hh"
+#include "workload/synthetic.hh"
+
+namespace dtsim {
+namespace bench {
+
+/**
+ * Request-count scale for the real-workload models, overridable with
+ * the DTSIM_BENCH_SCALE environment variable. The default keeps the
+ * full bench suite within minutes; EXPERIMENTS.md records the value
+ * used.
+ */
+double workloadScale();
+
+/** Print a header line like "=== Figure 7: ... ===". */
+void printHeader(const std::string& title);
+
+/** Print one aligned row of a results table. */
+void printRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 3);
+std::string fmtPct(double v, int precision = 1);
+
+/**
+ * Run one system variant over a trace, wiring bitmaps and the HDC pin
+ * plan automatically.
+ */
+RunResult runSystem(SystemKind kind, std::uint64_t hdc_bytes,
+                    const SystemConfig& base, const Trace& trace,
+                    const std::vector<LayoutBitmap>& bitmaps);
+
+/**
+ * A striping-unit sweep over one server workload: reproduces the
+ * Figure 7/9/11 shape (I/O time vs unit size for Segm, Segm+HDC,
+ * FOR, FOR+HDC).
+ */
+void stripingSweep(const ServerModelParams& params,
+                   const std::string& figure_title);
+
+/**
+ * An HDC-size sweep over one server workload at a fixed striping
+ * unit: reproduces the Figure 8/10/12 shape.
+ */
+void hdcSweep(const ServerModelParams& params,
+              std::uint64_t stripe_unit_bytes,
+              const std::string& figure_title);
+
+} // namespace bench
+} // namespace dtsim
+
+#endif // DTSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 3: normalized I/O time as a function of the average file
+ * size (Segm / Block / No-RA / FOR; 128 simultaneous streams;
+ * 128 KB striping unit; 10000 complete-file requests).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 3: normalized I/O time vs average file size");
+
+    SystemConfig base;
+    base.streams = 128;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    const std::vector<int> widths{12, 10, 10, 10, 10, 12};
+    bench::printRow({"file(KB)", "Segm", "Block", "No-RA", "FOR",
+                     "Segm(s)"},
+                    widths);
+
+    const std::uint64_t sizes_kb[] = {4,  8,  16, 24, 32, 48,
+                                      64, 96, 128};
+    for (std::uint64_t kb : sizes_kb) {
+        SyntheticParams sp;
+        sp.fileSizeBytes = kb * kKiB;
+        sp.numRequests = 10000;
+        SyntheticWorkload w = makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks());
+
+        StripingMap striping(base.disks,
+                             base.stripeUnitBytes /
+                                 base.disk.blockSize,
+                             base.disk.totalBlocks());
+        const std::vector<LayoutBitmap> bitmaps =
+            w.image->buildBitmaps(striping);
+
+        const RunResult segm = bench::runSystem(
+            SystemKind::Segm, 0, base, w.trace, bitmaps);
+        const RunResult block = bench::runSystem(
+            SystemKind::Block, 0, base, w.trace, bitmaps);
+        const RunResult nora = bench::runSystem(
+            SystemKind::NoRA, 0, base, w.trace, bitmaps);
+        const RunResult forr = bench::runSystem(
+            SystemKind::FOR, 0, base, w.trace, bitmaps);
+
+        const double t0 = static_cast<double>(segm.ioTime);
+        bench::printRow(
+            {std::to_string(kb), "1.000",
+             bench::fmt(block.ioTime / t0),
+             bench::fmt(nora.ioTime / t0),
+             bench::fmt(forr.ioTime / t0),
+             bench::fmt(toSeconds(segm.ioTime))},
+            widths);
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 4: normalized I/O time as a function of the number of
+ * simultaneous I/O streams (Segm / Block / FOR; 16 KB files).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 4: normalized I/O time vs simultaneous streams");
+
+    SyntheticParams sp;
+    sp.fileSizeBytes = 16 * kKiB;
+    sp.numRequests = 10000;
+
+    SystemConfig base;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    SyntheticWorkload w =
+        makeSynthetic(sp, base.disks * base.disk.totalBlocks());
+    StripingMap striping(base.disks,
+                         base.stripeUnitBytes / base.disk.blockSize,
+                         base.disk.totalBlocks());
+    const std::vector<LayoutBitmap> bitmaps =
+        w.image->buildBitmaps(striping);
+
+    const std::vector<int> widths{10, 10, 10, 10, 12};
+    bench::printRow({"streams", "Segm", "Block", "FOR", "Segm(s)"},
+                    widths);
+
+    const unsigned streams[] = {64, 128, 256, 384, 512, 768, 1024};
+    for (unsigned s : streams) {
+        SystemConfig cfg = base;
+        cfg.streams = s;
+        const RunResult segm = bench::runSystem(
+            SystemKind::Segm, 0, cfg, w.trace, bitmaps);
+        const RunResult block = bench::runSystem(
+            SystemKind::Block, 0, cfg, w.trace, bitmaps);
+        const RunResult forr = bench::runSystem(
+            SystemKind::FOR, 0, cfg, w.trace, bitmaps);
+
+        const double t0 = static_cast<double>(segm.ioTime);
+        bench::printRow({std::to_string(s), "1.000",
+                         bench::fmt(block.ioTime / t0),
+                         bench::fmt(forr.ioTime / t0),
+                         bench::fmt(toSeconds(segm.ioTime))},
+                        widths);
+    }
+    return 0;
+}

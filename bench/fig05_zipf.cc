@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 5: normalized I/O time and HDC hit rate as a function of the
+ * access-frequency (Zipf) coefficient. 16 KB files, 2 MB HDC caches,
+ * no writes.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 5: normalized I/O time vs Zipf coefficient");
+
+    SystemConfig base;
+    base.streams = 128;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    const std::vector<int> widths{8, 10, 12, 10, 12, 10};
+    bench::printRow({"alpha", "Segm", "Segm+HDC", "FOR", "FOR+HDC",
+                     "hitRate"},
+                    widths);
+
+    const double alphas[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    for (double a : alphas) {
+        SyntheticParams sp;
+        sp.fileSizeBytes = 16 * kKiB;
+        sp.numRequests = 10000;
+        sp.zipfAlpha = a;
+        SyntheticWorkload w = makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks());
+
+        StripingMap striping(base.disks,
+                             base.stripeUnitBytes /
+                                 base.disk.blockSize,
+                             base.disk.totalBlocks());
+        const std::vector<LayoutBitmap> bitmaps =
+            w.image->buildBitmaps(striping);
+
+        const std::uint64_t hdc = 2 * kMiB;
+        const RunResult segm = bench::runSystem(
+            SystemKind::Segm, 0, base, w.trace, bitmaps);
+        const RunResult segm_hdc = bench::runSystem(
+            SystemKind::Segm, hdc, base, w.trace, bitmaps);
+        const RunResult forr = bench::runSystem(
+            SystemKind::FOR, 0, base, w.trace, bitmaps);
+        const RunResult for_hdc = bench::runSystem(
+            SystemKind::FOR, hdc, base, w.trace, bitmaps);
+
+        const double t0 = static_cast<double>(segm.ioTime);
+        bench::printRow({bench::fmt(a, 1), "1.000",
+                         bench::fmt(segm_hdc.ioTime / t0),
+                         bench::fmt(forr.ioTime / t0),
+                         bench::fmt(for_hdc.ioTime / t0),
+                         bench::fmtPct(segm_hdc.hdcHitRate)},
+                        widths);
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 6: normalized I/O time as a function of the percentage of
+ * writes in the workload. 16 KB files, 2 MB HDC caches, Zipf
+ * alpha = 0.4.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 6: normalized I/O time vs write percentage");
+
+    SystemConfig base;
+    base.streams = 128;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    const std::vector<int> widths{10, 10, 12, 10, 12};
+    bench::printRow({"writes(%)", "Segm", "Segm+HDC", "FOR",
+                     "FOR+HDC"},
+                    widths);
+
+    for (int wpct = 0; wpct <= 60; wpct += 10) {
+        SyntheticParams sp;
+        sp.fileSizeBytes = 16 * kKiB;
+        sp.numRequests = 10000;
+        sp.zipfAlpha = 0.4;
+        sp.writeProb = wpct / 100.0;
+        SyntheticWorkload w = makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks());
+
+        StripingMap striping(base.disks,
+                             base.stripeUnitBytes /
+                                 base.disk.blockSize,
+                             base.disk.totalBlocks());
+        const std::vector<LayoutBitmap> bitmaps =
+            w.image->buildBitmaps(striping);
+
+        const std::uint64_t hdc = 2 * kMiB;
+        const RunResult segm = bench::runSystem(
+            SystemKind::Segm, 0, base, w.trace, bitmaps);
+        const RunResult segm_hdc = bench::runSystem(
+            SystemKind::Segm, hdc, base, w.trace, bitmaps);
+        const RunResult forr = bench::runSystem(
+            SystemKind::FOR, 0, base, w.trace, bitmaps);
+        const RunResult for_hdc = bench::runSystem(
+            SystemKind::FOR, hdc, base, w.trace, bitmaps);
+
+        const double t0 = static_cast<double>(segm.ioTime);
+        bench::printRow({std::to_string(wpct), "1.000",
+                         bench::fmt(segm_hdc.ioTime / t0),
+                         bench::fmt(forr.ioTime / t0),
+                         bench::fmt(for_hdc.ioTime / t0)},
+                        widths);
+    }
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 7: Web server I/O time as a function of the striping unit
+ * size (Segm / Segm+HDC / FOR / FOR+HDC, 2 MB HDC caches).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace dtsim;
+    bench::stripingSweep(
+        webServerParams(bench::workloadScale()),
+        "Figure 7: Web server - I/O time vs striping unit");
+    return 0;
+}

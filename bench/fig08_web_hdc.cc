@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 8: Web server I/O time and HDC hit rate as a function of the
+ * per-disk HDC memory size (16 KB striping unit).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace dtsim;
+    bench::hdcSweep(
+        webServerParams(bench::workloadScale()), 16 * kKiB,
+        "Figure 8: Web server - I/O time vs HDC cache size");
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 10: proxy server I/O time and HDC hit rate as a function of
+ * the per-disk HDC memory size (64 KB striping unit).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace dtsim;
+    bench::hdcSweep(
+        proxyServerParams(bench::workloadScale()), 64 * kKiB,
+        "Figure 10: Proxy server - I/O time vs HDC cache size");
+    return 0;
+}

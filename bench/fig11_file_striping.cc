@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 11: file server I/O time as a function of the striping unit
+ * size (Segm / Segm+HDC / FOR / FOR+HDC, 2 MB HDC caches).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace dtsim;
+    bench::stripingSweep(
+        fileServerParams(bench::workloadScale()),
+        "Figure 11: File server - I/O time vs striping unit");
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 12: file server I/O time and HDC hit rate as a function of
+ * the per-disk HDC memory size (128 KB striping unit).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace dtsim;
+    bench::hdcSweep(
+        fileServerParams(bench::workloadScale()), 128 * kKiB,
+        "Figure 12: File server - I/O time vs HDC cache size");
+    return 0;
+}

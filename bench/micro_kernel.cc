@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the simulator's hot paths:
+ * event queue throughput, cache operations, Zipf sampling, and the
+ * seek/mechanism model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/block_cache.hh"
+#include "cache/segment_cache.hh"
+#include "disk/mechanism.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace dtsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleFire(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleAfter(static_cast<Tick>(i), [&sum] { ++sum; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_ZipfSample(benchmark::State& state)
+{
+    ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 0.8);
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void
+BM_BlockCacheInsertLookup(benchmark::State& state)
+{
+    BlockCache cache(1024, BlockPolicy::MRU);
+    std::uint64_t pos = 0;
+    for (auto _ : state) {
+        cache.insertRun(pos, 8);
+        benchmark::DoNotOptimize(cache.lookupPrefix(pos, 8));
+        pos += 8;
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_BlockCacheInsertLookup);
+
+void
+BM_SegmentCacheInsertLookup(benchmark::State& state)
+{
+    SegmentCache cache(27, 32, SegmentPolicy::LRU);
+    std::uint64_t pos = 0;
+    for (auto _ : state) {
+        cache.insertRun(pos, 32);
+        benchmark::DoNotOptimize(cache.lookupPrefix(pos, 4));
+        pos += 1024;
+    }
+}
+BENCHMARK(BM_SegmentCacheInsertLookup);
+
+void
+BM_MechanismService(benchmark::State& state)
+{
+    DiskParams params;
+    DiskGeometry geom(params);
+    DiskMechanism mech(params, geom);
+    Rng rng(11);
+    Tick now = 0;
+    for (auto _ : state) {
+        MediaAccess acc;
+        acc.startSector =
+            rng.below(geom.totalSectors() - 256);
+        acc.sectorCount = 256;
+        const ServiceTiming t = mech.service(acc, now);
+        now += t.total();
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_MechanismService);
+
+} // namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 1: the main simulation parameters and their default values,
+ * printed from the live configuration (so the reproduction always
+ * reports what it actually simulates), plus the derived quantities
+ * the paper quotes (average seek, segment counts, bitmap size).
+ */
+
+#include <cstdio>
+
+#include "analytic/models.hh"
+#include "bench/bench_util.hh"
+#include "core/system.hh"
+#include "disk/geometry.hh"
+
+using namespace dtsim;
+
+int
+main()
+{
+    bench::printHeader("Table 1: main parameters and default values");
+
+    SystemConfig cfg;
+    const DiskParams& d = cfg.disk;
+    const DiskGeometry geom(d);
+
+    std::printf("Number of disks              %u\n", cfg.disks);
+    std::printf("Disk size                    %.0f GB\n",
+                d.capacityBytes / 1.0e9);
+    std::printf("Average disk seek time       %.2f ms (model: "
+                "alpha=%.4f beta=%.4f gamma=%.4f delta=%.5f "
+                "theta=%u)\n",
+                analytic::averageSeekMs(d), d.seekAlphaMs,
+                d.seekBetaMs, d.seekGammaMs, d.seekDeltaMs,
+                d.seekThetaCyls);
+    std::printf("Average rotational latency   %.2f ms (%u rpm)\n",
+                analytic::averageRotationMs(d), d.rpm);
+    std::printf("Raw disk transfer rate       %.0f MB/s\n",
+                d.xferRateBytesPerSec / 1.0e6);
+    std::printf("Disk controller interface    Ultra160 (160 MB/s)\n");
+    std::printf("Disk controller cache size   %llu MB "
+                "(%llu KB usable)\n",
+                static_cast<unsigned long long>(d.cacheBytes / kMiB),
+                static_cast<unsigned long long>(
+                    d.usableCacheBytes() / kKiB));
+    std::printf("Disk block size              %u KB\n",
+                d.blockSize / 1024);
+
+    for (std::uint64_t seg_kb : {128, 256, 512}) {
+        DiskParams p = d;
+        p.segmentBytes = seg_kb * kKiB;
+        std::printf("Segments at %3llu KB           %llu\n",
+                    static_cast<unsigned long long>(seg_kb),
+                    static_cast<unsigned long long>(p.numSegments()));
+    }
+
+    std::printf("Disk-resident bitmap         %llu KB "
+                "(%.4f%% of disk space)\n",
+                static_cast<unsigned long long>(
+                    d.bitmapBytes() / 1024),
+                100.0 * static_cast<double>(d.bitmapBytes()) /
+                    static_cast<double>(d.capacityBytes));
+    std::printf("Geometry                     %u cylinders, %u heads, "
+                "%u sectors/track\n",
+                geom.cylinders(), geom.heads(),
+                geom.sectorsPerTrack());
+    std::printf("Default striping unit        %llu KB\n",
+                static_cast<unsigned long long>(
+                    cfg.stripeUnitBytes / kKiB));
+    return 0;
+}

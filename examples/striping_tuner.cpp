@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Capacity-planning example: find the best striping unit for a given
+ * workload mix, the decision Figures 7/9/11 inform. Demonstrates
+ * sweeping array parameters with the public API.
+ *
+ * Usage: striping_tuner [avg_file_kb] [streams]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runner.hh"
+#include "workload/synthetic.hh"
+
+using namespace dtsim;
+
+int
+main(int argc, char** argv)
+{
+    const std::uint64_t file_kb =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+    const unsigned streams =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 64;
+
+    SyntheticParams wp;
+    wp.fileSizeBytes = file_kb * kKiB;
+    wp.numRequests = 8000;
+    wp.zipfAlpha = 0.6;
+
+    std::printf("tuning striping unit for %llu KB files, %u streams\n",
+                static_cast<unsigned long long>(file_kb), streams);
+    std::printf("%-10s %-12s %-12s\n", "unit(KB)", "Segm(s)",
+                "FOR(s)");
+
+    std::uint64_t best_unit = 0;
+    double best_time = 1e300;
+
+    for (std::uint64_t unit_kb : {4, 8, 16, 32, 64, 128, 256}) {
+        SystemConfig cfg;
+        cfg.streams = streams;
+        cfg.stripeUnitBytes = unit_kb * kKiB;
+
+        SyntheticWorkload w = makeSynthetic(
+            wp, cfg.disks * cfg.disk.totalBlocks());
+        StripingMap striping(cfg.disks,
+                             cfg.stripeUnitBytes / cfg.disk.blockSize,
+                             cfg.disk.totalBlocks());
+        std::vector<LayoutBitmap> bitmaps =
+            w.image->buildBitmaps(striping);
+
+        cfg.kind = SystemKind::Segm;
+        const RunResult segm = runTrace(cfg, w.trace);
+        cfg.kind = SystemKind::FOR;
+        const RunResult forr = runTrace(cfg, w.trace, &bitmaps);
+
+        std::printf("%-10llu %-12.3f %-12.3f\n",
+                    static_cast<unsigned long long>(unit_kb),
+                    toSeconds(segm.ioTime), toSeconds(forr.ioTime));
+
+        if (toSeconds(forr.ioTime) < best_time) {
+            best_time = toSeconds(forr.ioTime);
+            best_unit = unit_kb;
+        }
+    }
+
+    std::printf("\nbest striping unit with FOR: %llu KB (%.3f s)\n",
+                static_cast<unsigned long long>(best_unit),
+                best_time);
+    return 0;
+}

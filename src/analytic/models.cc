@@ -1,0 +1,132 @@
+#include "analytic/models.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "disk/geometry.hh"
+#include "disk/seek_model.hh"
+
+namespace dtsim {
+namespace analytic {
+
+double
+averageSeekMs(const DiskParams& p)
+{
+    const DiskGeometry geom(p);
+    const SeekModel seek(p);
+    return seek.averageSeekMs(geom.cylinders());
+}
+
+double
+averageRotationMs(const DiskParams& p)
+{
+    return 0.5 * 60.0e3 / static_cast<double>(p.rpm);
+}
+
+double
+requestTimeMs(const DiskParams& p, std::uint64_t r_blocks)
+{
+    const double xfer_ms =
+        static_cast<double>(r_blocks) * p.blockSize /
+        p.xferRateBytesPerSec * 1.0e3;
+    return averageSeekMs(p) + averageRotationMs(p) + xfer_ms;
+}
+
+double
+gammaFactor(unsigned d)
+{
+    return 2.0 * static_cast<double>(d) /
+           (static_cast<double>(d) + 1.0);
+}
+
+double
+stripedResponseMs(const DiskParams& p, std::uint64_t r_blocks,
+                  unsigned d)
+{
+    if (d == 0)
+        return 0.0;
+    const std::uint64_t per =
+        std::max<std::uint64_t>(1, r_blocks / d);
+    return gammaFactor(d) * requestTimeMs(p, per);
+}
+
+double
+conventionalHitRate(double f, double c, double s, double p, double t)
+{
+    if (t <= s) {
+        const double m = std::min(f, c / s);
+        return m <= 0.0 ? 0.0 : (m - 1.0) / m;
+    }
+    return p <= 0.0 ? 0.0 : (p - 1.0) / p;
+}
+
+double
+forHitRate(double f, double c, double p, double t)
+{
+    if (f <= 0.0)
+        return 0.0;
+    if (t <= c / f)
+        return (f - 1.0) / f;
+    return p <= 0.0 ? 0.0 : (p - 1.0) / p;
+}
+
+double
+zipfTopMass(std::uint64_t h, std::uint64_t n, double alpha)
+{
+    if (n == 0 || h == 0)
+        return 0.0;
+    h = std::min(h, n);
+    double top = 0.0;
+    double total = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        const double w =
+            1.0 / std::pow(static_cast<double>(i), alpha);
+        total += w;
+        if (i <= h)
+            top += w;
+    }
+    return top / total;
+}
+
+double
+hdcMaxBlocks(unsigned d, double c_blocks, double rmin_blocks)
+{
+    return static_cast<double>(d) * c_blocks - rmin_blocks;
+}
+
+double
+rminBlind(double t, double c_blocks, double s)
+{
+    return s <= 0.0 ? 0.0 : t * (c_blocks / s);
+}
+
+double
+rminFor(double t, double f_blocks)
+{
+    return t * f_blocks;
+}
+
+double
+averageSequentialRun(std::uint64_t n_blocks, double frag)
+{
+    if (n_blocks == 0)
+        return 0.0;
+    const double n = static_cast<double>(n_blocks);
+    return n / (1.0 + (n - 1.0) * frag);
+}
+
+double
+utilizationReduction(const DiskParams& p, std::uint64_t file_bytes,
+                     std::uint64_t ra_bytes)
+{
+    const std::uint64_t fb =
+        std::max<std::uint64_t>(1, file_bytes / p.blockSize);
+    const std::uint64_t rb =
+        std::max<std::uint64_t>(1, ra_bytes / p.blockSize);
+    const double t_for = requestTimeMs(p, fb);
+    const double t_blind = requestTimeMs(p, rb);
+    return t_blind <= 0.0 ? 0.0 : 1.0 - t_for / t_blind;
+}
+
+} // namespace analytic
+} // namespace dtsim

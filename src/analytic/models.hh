@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The paper's closed-form models, usable independently of the
+ * simulator (and tested against it).
+ *
+ * Includes: the request service-time formula T(r), the striped
+ * response-time fragmentation factor gamma(D), the conventional and
+ * FOR controller-cache hit-rate models (Section 4), the Zipf
+ * accumulated-mass approximation of the HDC hit rate (Section 5), the
+ * HDC/read-ahead memory trade-off bounds, and the Figure 1 average
+ * sequential-run model.
+ */
+
+#ifndef DTSIM_ANALYTIC_MODELS_HH
+#define DTSIM_ANALYTIC_MODELS_HH
+
+#include <cstdint>
+
+#include "disk/disk_params.hh"
+
+namespace dtsim {
+namespace analytic {
+
+/**
+ * Expected service time of a read of `r` blocks (Section 2.1):
+ * T(r) = seek + rot_latency + r*S/xfer_rate, using the drive's
+ * average seek and rotational latency.
+ *
+ * @return Time in milliseconds.
+ */
+double requestTimeMs(const DiskParams& p, std::uint64_t r_blocks);
+
+/**
+ * Average seek time of the modeled drive in milliseconds (expectation
+ * of the three-piece curve over random cylinder pairs).
+ */
+double averageSeekMs(const DiskParams& p);
+
+/** Average rotational latency (half a revolution) in milliseconds. */
+double averageRotationMs(const DiskParams& p);
+
+/**
+ * Response-time fragmentation factor gamma(D) for a request split
+ * into D sub-requests with uniform service times (Section 2.2):
+ * gamma(D) = 2D / (D + 1).
+ */
+double gammaFactor(unsigned d);
+
+/**
+ * Response time of a striped request of `r` blocks split into `d`
+ * sub-requests: gamma(d) * T(r/d), in milliseconds.
+ */
+double stripedResponseMs(const DiskParams& p, std::uint64_t r_blocks,
+                         unsigned d);
+
+/**
+ * Conventional (blind read-ahead, segment cache) controller hit rate
+ * for `t` sequential streams (Section 4):
+ *   t <= s: (min(f, c/s) - 1) / min(f, c/s)
+ *   t >  s: (p - 1) / p
+ *
+ * @param f Average file size in blocks.
+ * @param c Cache size in blocks.
+ * @param s Number of segments.
+ * @param p Blocks per host request (>= 1).
+ * @param t Concurrent streams.
+ */
+double conventionalHitRate(double f, double c, double s, double p,
+                           double t);
+
+/**
+ * FOR (block cache) controller hit rate (Section 4):
+ *   t <= c/f: (f - 1) / f
+ *   t >  c/f: (p - 1) / p
+ */
+double forHitRate(double f, double c, double p, double t);
+
+/**
+ * Accumulated probability of the H most popular items of a Zipf(N,
+ * alpha) distribution: z_alpha(H, N), the paper's HDC hit-rate model.
+ * Computed exactly by summation.
+ */
+double zipfTopMass(std::uint64_t h, std::uint64_t n, double alpha);
+
+/**
+ * Maximum array-wide HDC allocation (Section 5):
+ * Hmax = D*c - Rmin, in blocks.
+ */
+double hdcMaxBlocks(unsigned d, double c_blocks, double rmin_blocks);
+
+/** Minimum read-ahead cache for blind read-ahead: t * (c/s). */
+double rminBlind(double t, double c_blocks, double s);
+
+/** Minimum read-ahead cache for FOR: t * f. */
+double rminFor(double t, double f_blocks);
+
+/**
+ * Figure 1 model: expected average sequential run length of an
+ * n-block file whose intra-file boundaries each break with
+ * probability `frag`: n / (1 + (n-1)*frag).
+ */
+double averageSequentialRun(std::uint64_t n_blocks, double frag);
+
+/**
+ * Disk utilization reduction of FOR versus a blind read-ahead of
+ * `ra_bytes` when files average `file_bytes` (Section 4's 29%
+ * example): 1 - T(file)/T(ra).
+ */
+double utilizationReduction(const DiskParams& p,
+                            std::uint64_t file_bytes,
+                            std::uint64_t ra_bytes);
+
+} // namespace analytic
+} // namespace dtsim
+
+#endif // DTSIM_ANALYTIC_MODELS_HH

@@ -1,0 +1,184 @@
+#include "array/disk_array.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+DiskArray::DiskArray(EventQueue& eq, const ArrayConfig& cfg)
+    : eq_(eq), bus_(cfg.busBytesPerSec), mirrored_(cfg.mirrored),
+      striping_(cfg.mirrored ? cfg.disks / 2 : cfg.disks,
+                cfg.stripeUnitBytes / cfg.disk.blockSize,
+                cfg.disk.totalBlocks())
+{
+    if (cfg.stripeUnitBytes % cfg.disk.blockSize != 0)
+        fatal("DiskArray: stripe unit must be a block multiple");
+    if (cfg.mirrored && (cfg.disks < 2 || cfg.disks % 2 != 0))
+        fatal("DiskArray: mirroring needs an even disk count");
+    ctrls_.reserve(cfg.disks);
+    for (unsigned d = 0; d < cfg.disks; ++d) {
+        auto ctl = std::make_unique<DiskController>(
+            eq_, bus_, cfg.disk, cfg.controller, d);
+        ctrls_.push_back(std::move(ctl));
+    }
+}
+
+void
+DiskArray::setBitmaps(const std::vector<LayoutBitmap>* bitmaps)
+{
+    if (!bitmaps)
+        fatal("DiskArray: null bitmap vector");
+    const unsigned logical = striping_.disks();
+    if (bitmaps->size() != logical)
+        fatal("DiskArray: need one bitmap per (logical) disk");
+    for (unsigned d = 0; d < logical; ++d) {
+        ctrls_[d]->setBitmap(&(*bitmaps)[d]);
+        if (mirrored_)
+            ctrls_[d + logical]->setBitmap(&(*bitmaps)[d]);
+    }
+}
+
+unsigned
+DiskArray::pickReplica(unsigned disk) const
+{
+    if (!mirrored_)
+        return disk;
+    const unsigned half = striping_.disks();
+    const unsigned mirror = disk + half;
+    // Shorter queue wins; ties go to the primary.
+    return ctrls_[mirror]->outstanding() <
+                   ctrls_[disk]->outstanding()
+        ? mirror
+        : disk;
+}
+
+void
+DiskArray::submitSub(unsigned disk, const SubRange& sr,
+                     bool is_write,
+                     const std::shared_ptr<Pending>& pending)
+{
+    IoRequest sub;
+    sub.id = nextSubId_++;
+    sub.diskId = disk;
+    sub.start = sr.start;
+    sub.count = sr.count;
+    sub.isWrite = is_write;
+    sub.onComplete = [this, pending](const IoRequest& done,
+                                     Tick when) {
+        if (done.served == ServiceClass::Media)
+            pending->anyMedia = true;
+        if (done.served != ServiceClass::HdcHit)
+            pending->anyNonHdc = true;
+        pending->lastDone = std::max(pending->lastDone, when);
+        if (--pending->remaining == 0) {
+            ArrayRequest& r = pending->req;
+            r.allCacheHits = !pending->anyMedia;
+            r.allHdcHits = !pending->anyNonHdc;
+            --outstanding_;
+            if (r.onComplete)
+                r.onComplete(r, pending->lastDone);
+        }
+    };
+    ctrls_[disk]->submit(std::move(sub));
+}
+
+void
+DiskArray::submit(ArrayRequest req)
+{
+    if (req.count == 0)
+        fatal("DiskArray: zero-length request");
+    if (req.start + req.count > totalBlocks())
+        fatal("DiskArray: request past end of array");
+
+    req.issued = eq_.now();
+    ++outstanding_;
+
+    const auto subs = striping_.split(req.start, req.count);
+    const bool is_write = req.isWrite;
+    auto pending = std::make_shared<Pending>();
+    pending->req = std::move(req);
+    // A mirrored write lands on both replicas of each sub-range.
+    pending->remaining =
+        mirrored_ && is_write ? subs.size() * 2 : subs.size();
+
+    const unsigned half = striping_.disks();
+    for (const SubRange& sr : subs) {
+        if (mirrored_ && is_write) {
+            submitSub(sr.disk, sr, true, pending);
+            submitSub(sr.disk + half, sr, true, pending);
+        } else {
+            submitSub(pickReplica(sr.disk), sr, is_write, pending);
+        }
+    }
+}
+
+bool
+DiskArray::pinLogicalBlock(ArrayBlock lb)
+{
+    if (lb >= totalBlocks())
+        fatal("DiskArray: pin past end of array");
+    const PhysicalLoc loc = striping_.toPhysical(lb);
+    bool ok = ctrls_[loc.disk]->pinBlock(loc.block);
+    if (mirrored_) {
+        // Pin on both replicas so either can serve reads and absorb
+        // writes.
+        ok = ctrls_[loc.disk + striping_.disks()]->pinBlock(
+                 loc.block) &&
+             ok;
+    }
+    return ok;
+}
+
+bool
+DiskArray::unpinLogicalBlock(ArrayBlock lb)
+{
+    if (lb >= totalBlocks())
+        fatal("DiskArray: unpin past end of array");
+    const PhysicalLoc loc = striping_.toPhysical(lb);
+    bool ok = ctrls_[loc.disk]->unpinBlock(loc.block);
+    if (mirrored_) {
+        ok = ctrls_[loc.disk + striping_.disks()]->unpinBlock(
+                 loc.block) &&
+             ok;
+    }
+    return ok;
+}
+
+std::uint64_t
+DiskArray::flushAllHdc()
+{
+    std::uint64_t jobs = 0;
+    for (auto& c : ctrls_)
+        jobs += c->flushHdc();
+    return jobs;
+}
+
+ControllerStats
+DiskArray::aggregateStats() const
+{
+    ControllerStats total;
+    for (const auto& c : ctrls_) {
+        const ControllerStats& s = c->stats();
+        total.reads += s.reads;
+        total.writes += s.writes;
+        total.readBlocks += s.readBlocks;
+        total.writeBlocks += s.writeBlocks;
+        total.cacheHitRequests += s.cacheHitRequests;
+        total.hdcHitRequests += s.hdcHitRequests;
+        total.hdcHitBlocks += s.hdcHitBlocks;
+        total.raHitBlocks += s.raHitBlocks;
+        total.mediaAccesses += s.mediaAccesses;
+        total.mediaBlocks += s.mediaBlocks;
+        total.readAheadBlocks += s.readAheadBlocks;
+        total.flushWrites += s.flushWrites;
+        total.flushBlocks += s.flushBlocks;
+        total.seekTime += s.seekTime;
+        total.rotTime += s.rotTime;
+        total.xferTime += s.xferTime;
+        total.mediaBusy += s.mediaBusy;
+    }
+    return total;
+}
+
+} // namespace dtsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The disk array: a set of disk controllers behind one shared bus,
+ * addressed through a striped logical block space.
+ *
+ * A logical request is split along striping-unit boundaries into
+ * per-disk sub-requests; it completes when the last sub-request
+ * completes (Section 2.2's gamma(D) fragmentation effect emerges from
+ * this fan-out).
+ */
+
+#ifndef DTSIM_ARRAY_DISK_ARRAY_HH
+#define DTSIM_ARRAY_DISK_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "array/striping.hh"
+#include "bus/scsi_bus.hh"
+#include "controller/disk_controller.hh"
+#include "controller/layout_bitmap.hh"
+#include "sim/event_queue.hh"
+
+namespace dtsim {
+
+/** One request in the array's logical block space. */
+struct ArrayRequest
+{
+    using Callback = std::function<void(const ArrayRequest&, Tick)>;
+
+    std::uint64_t id = 0;
+    ArrayBlock start = 0;
+    std::uint64_t count = 1;
+    bool isWrite = false;
+    Tick issued = 0;
+
+    /** True when every sub-request was a controller-cache hit. */
+    bool allCacheHits = false;
+
+    /** True when every sub-request was served by the HDC store. */
+    bool allHdcHits = false;
+
+    Callback onComplete;
+};
+
+/** Array-wide configuration. */
+struct ArrayConfig
+{
+    unsigned disks = 8;
+    std::uint64_t stripeUnitBytes = 128 * kKiB;
+    DiskParams disk;
+    ControllerConfig controller;
+    double busBytesPerSec = 160.0e6;
+
+    /**
+     * RAID-1 over the stripes (RAID-10): the second half of the
+     * disks mirrors the first. Reads go to the replica with the
+     * shorter queue; writes go to both. Halves the logical capacity;
+     * requires an even disk count.
+     */
+    bool mirrored = false;
+};
+
+/** A striped array of simulated disks. */
+class DiskArray
+{
+  public:
+    DiskArray(EventQueue& eq, const ArrayConfig& cfg);
+
+    DiskArray(const DiskArray&) = delete;
+    DiskArray& operator=(const DiskArray&) = delete;
+
+    /**
+     * Attach per-disk FOR bitmaps (index = disk). Required when the
+     * controllers run FOR read-ahead. Bitmaps are owned by the caller
+     * (normally the file-system model) and must outlive the array.
+     */
+    void setBitmaps(const std::vector<LayoutBitmap>* bitmaps);
+
+    /** Submit a logical request. */
+    void submit(ArrayRequest req);
+
+    /** pin_blk() routed to the owning disk. @return success. */
+    bool pinLogicalBlock(ArrayBlock lb);
+
+    /** unpin_blk() routed to the owning disk. */
+    bool unpinLogicalBlock(ArrayBlock lb);
+
+    /** flush_hdc() on every controller. @return media jobs queued. */
+    std::uint64_t flushAllHdc();
+
+    const StripingMap& striping() const { return striping_; }
+    unsigned disks() const { return static_cast<unsigned>(ctrls_.size()); }
+    DiskController& controller(unsigned d) { return *ctrls_.at(d); }
+    const DiskController& controller(unsigned d) const
+    {
+        return *ctrls_.at(d);
+    }
+    ScsiBus& bus() { return bus_; }
+
+    /** Logical capacity in blocks. */
+    std::uint64_t totalBlocks() const { return striping_.totalBlocks(); }
+
+    /** Sum of a statistic over all controllers. */
+    ControllerStats aggregateStats() const;
+
+    /** Requests still in flight. */
+    std::uint64_t outstanding() const { return outstanding_; }
+
+    /** True when the array mirrors its stripes (RAID-10). */
+    bool mirrored() const { return mirrored_; }
+
+  private:
+    /** Book-keeping for one in-flight logical request. */
+    struct Pending
+    {
+        ArrayRequest req;
+        std::size_t remaining;
+        bool anyMedia = false;
+        bool anyNonHdc = false;
+        Tick lastDone = 0;
+    };
+
+    /** Replica choice for a mirrored read. */
+    unsigned pickReplica(unsigned disk) const;
+
+    /** Issue one sub-request to one controller. */
+    void submitSub(unsigned disk, const SubRange& sr, bool is_write,
+                   const std::shared_ptr<Pending>& pending);
+
+    EventQueue& eq_;
+    ScsiBus bus_;
+    bool mirrored_;
+    StripingMap striping_;
+    std::vector<std::unique_ptr<DiskController>> ctrls_;
+    std::uint64_t nextSubId_ = 1;
+    std::uint64_t outstanding_ = 0;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_ARRAY_DISK_ARRAY_HH

@@ -1,0 +1,65 @@
+#include "array/striping.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+StripingMap::StripingMap(unsigned disks, std::uint64_t unit_blocks,
+                         std::uint64_t per_disk_blocks)
+    : disks_(disks), unit_(unit_blocks), perDisk_(per_disk_blocks)
+{
+    if (disks == 0 || unit_blocks == 0 || per_disk_blocks == 0)
+        fatal("StripingMap: disks, unit, and capacity must be > 0");
+    if (per_disk_blocks % unit_blocks != 0)
+        inform("StripingMap: disk capacity is not a unit multiple; "
+             "the trailing partial unit is unused");
+}
+
+PhysicalLoc
+StripingMap::toPhysical(ArrayBlock lb) const
+{
+    const std::uint64_t stripe_unit = lb / unit_;
+    const std::uint64_t in_unit = lb % unit_;
+    PhysicalLoc loc;
+    loc.disk = static_cast<unsigned>(stripe_unit % disks_);
+    loc.block = (stripe_unit / disks_) * unit_ + in_unit;
+    return loc;
+}
+
+ArrayBlock
+StripingMap::toLogical(unsigned disk, BlockNum block) const
+{
+    const std::uint64_t local_unit = block / unit_;
+    const std::uint64_t in_unit = block % unit_;
+    const std::uint64_t stripe_unit =
+        local_unit * disks_ + disk;
+    return stripe_unit * unit_ + in_unit;
+}
+
+std::vector<SubRange>
+StripingMap::split(ArrayBlock start, std::uint64_t count) const
+{
+    std::vector<SubRange> out;
+    std::uint64_t done = 0;
+    while (done < count) {
+        const ArrayBlock lb = start + done;
+        const std::uint64_t left_in_unit = unit_ - (lb % unit_);
+        const std::uint64_t n = std::min(count - done, left_in_unit);
+        const PhysicalLoc loc = toPhysical(lb);
+
+        // Merge with the previous sub-range when physically
+        // contiguous on the same disk (always true when disks == 1).
+        if (!out.empty() && out.back().disk == loc.disk &&
+            out.back().start + out.back().count == loc.block) {
+            out.back().count += n;
+        } else {
+            out.push_back(SubRange{loc.disk, loc.block, n, done});
+        }
+        done += n;
+    }
+    return out;
+}
+
+} // namespace dtsim

@@ -1,0 +1,43 @@
+#include "bus/scsi_bus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+ScsiBus::ScsiBus(double bytes_per_sec, Tick arbitration)
+    : rate_(bytes_per_sec), arbitration_(arbitration)
+{
+    if (bytes_per_sec <= 0.0)
+        fatal("ScsiBus: rate must be positive");
+}
+
+Tick
+ScsiBus::transferTime(std::uint64_t bytes) const
+{
+    return arbitration_ +
+           fromSeconds(static_cast<double>(bytes) / rate_);
+}
+
+Tick
+ScsiBus::transfer(Tick earliest, std::uint64_t bytes)
+{
+    const Tick start = std::max(earliest, busyUntil_);
+    const Tick dur = transferTime(bytes);
+    busyUntil_ = start + dur;
+    busyTime_ += dur;
+    ++tenures_;
+    return busyUntil_;
+}
+
+double
+ScsiBus::utilization(Tick now) const
+{
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(std::min(busyTime_, now)) /
+           static_cast<double>(now);
+}
+
+} // namespace dtsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A shared parallel-SCSI bus (Ultra160 by default).
+ *
+ * The bus is a single serially-reusable resource: data transfers and
+ * command frames from all attached controllers are serialized in FIFO
+ * order at the bus's byte rate plus a fixed arbitration/overhead cost
+ * per tenure.
+ */
+
+#ifndef DTSIM_BUS_SCSI_BUS_HH
+#define DTSIM_BUS_SCSI_BUS_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+/** Shared host-adapter bus. */
+class ScsiBus
+{
+  public:
+    /**
+     * @param bytes_per_sec Peak transfer rate (160 MB/s for Ultra160).
+     * @param arbitration Fixed per-tenure overhead.
+     */
+    explicit ScsiBus(double bytes_per_sec = 160.0e6,
+                     Tick arbitration = fromMicros(2));
+
+    /**
+     * Reserve the bus for a transfer of `bytes`, starting no earlier
+     * than `earliest`. The bus is held from max(earliest, free time)
+     * until the returned tick.
+     *
+     * @return Completion time of the transfer.
+     */
+    Tick transfer(Tick earliest, std::uint64_t bytes);
+
+    /** Pure transfer duration for `bytes` (no queuing). */
+    Tick transferTime(std::uint64_t bytes) const;
+
+    /** Earliest time the bus is free. */
+    Tick freeAt() const { return busyUntil_; }
+
+    /** Accumulated busy time. */
+    Tick busyTime() const { return busyTime_; }
+
+    /** Fraction of [0, now] the bus was busy. */
+    double utilization(Tick now) const;
+
+    /** Completed tenures. */
+    std::uint64_t tenures() const { return tenures_; }
+
+  private:
+    double rate_;
+    Tick arbitration_;
+    Tick busyUntil_ = 0;
+    Tick busyTime_ = 0;
+    std::uint64_t tenures_ = 0;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_BUS_SCSI_BUS_HH

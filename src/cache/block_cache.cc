@@ -1,0 +1,124 @@
+#include "cache/block_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+const char*
+blockPolicyName(BlockPolicy p)
+{
+    switch (p) {
+      case BlockPolicy::MRU: return "MRU";
+      case BlockPolicy::LRU: return "LRU";
+    }
+    return "?";
+}
+
+BlockCache::BlockCache(std::uint64_t capacity_blocks, BlockPolicy policy)
+    : capacity_(capacity_blocks), policy_(policy)
+{
+    if (capacity_blocks == 0)
+        fatal("BlockCache: capacity must be > 0");
+}
+
+bool
+BlockCache::contains(BlockNum block) const
+{
+    return map_.count(block) != 0;
+}
+
+std::uint64_t
+BlockCache::lookupPrefix(BlockNum start, std::uint64_t count)
+{
+    std::uint64_t hits = 0;
+    while (hits < count) {
+        auto it = map_.find(start + hits);
+        if (it == map_.end())
+            break;
+        // Mark as consumed: move to the front of the used list.
+        Where& w = it->second;
+        if (w.inUsed) {
+            used_.splice(used_.begin(), used_, w.it);
+        } else {
+            const BlockNum b = w.it->block;
+            unused_.erase(w.it);
+            used_.push_front(Node{b, true});
+            w.it = used_.begin();
+            w.inUsed = true;
+        }
+        ++hits;
+    }
+    return hits;
+}
+
+void
+BlockCache::evictOne()
+{
+    ++evictions_;
+    if (policy_ == BlockPolicy::MRU) {
+        // Most recently consumed block first; if nothing has been
+        // consumed yet, fall back to the oldest read-ahead block.
+        if (!used_.empty()) {
+            const BlockNum b = used_.front().block;
+            used_.pop_front();
+            map_.erase(b);
+            return;
+        }
+        const BlockNum b = unused_.front().block;
+        unused_.pop_front();
+        map_.erase(b);
+        return;
+    }
+    // LRU: the least recently consumed block; unconsumed read-ahead
+    // blocks are newer than any consumed block by definition of use,
+    // so prefer the oldest consumed, then the oldest unconsumed.
+    if (!used_.empty()) {
+        const BlockNum b = used_.back().block;
+        used_.pop_back();
+        map_.erase(b);
+        return;
+    }
+    const BlockNum b = unused_.front().block;
+    unused_.pop_front();
+    map_.erase(b);
+}
+
+void
+BlockCache::insertRun(BlockNum start, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const BlockNum b = start + i;
+        auto it = map_.find(b);
+        if (it != map_.end())
+            continue;   // Already cached; keep its state.
+        if (map_.size() >= capacity_)
+            evictOne();
+        unused_.push_back(Node{b, false});
+        auto nit = unused_.end();
+        --nit;
+        map_.emplace(b, Where{nit, false});
+    }
+}
+
+void
+BlockCache::eraseBlock(BlockNum block)
+{
+    auto it = map_.find(block);
+    if (it == map_.end())
+        return;
+    Where& w = it->second;
+    if (w.inUsed)
+        used_.erase(w.it);
+    else
+        unused_.erase(w.it);
+    map_.erase(it);
+}
+
+void
+BlockCache::invalidateRange(BlockNum start, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        eraseBlock(start + i);
+}
+
+} // namespace dtsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Abstract interface of the read-ahead part of a disk controller
+ * cache.
+ *
+ * Two concrete organizations exist: the conventional segment-based
+ * cache (SegmentCache) and the block-based pool the paper introduces
+ * for FOR (BlockCache). Both operate on 4 KB block numbers local to
+ * one disk.
+ */
+
+#ifndef DTSIM_CACHE_CONTROLLER_CACHE_HH
+#define DTSIM_CACHE_CONTROLLER_CACHE_HH
+
+#include <cstdint>
+
+#include "disk/geometry.hh"
+
+namespace dtsim {
+
+/**
+ * Read-ahead cache interface.
+ *
+ * The controller looks up the *prefix* of a request that is cached
+ * (sequential streams hit on read-ahead data in order), inserts the
+ * contiguous runs it reads from the media, and invalidates or updates
+ * ranges on writes.
+ */
+class ControllerCache
+{
+  public:
+    virtual ~ControllerCache() = default;
+
+    /**
+     * Count how many leading blocks of [start, start+count) are
+     * cached, marking them as used (served to the host).
+     *
+     * @return Length of the cached prefix, in blocks.
+     */
+    virtual std::uint64_t lookupPrefix(BlockNum start,
+                                       std::uint64_t count) = 0;
+
+    /** True if a single block is present (no recency update). */
+    virtual bool contains(BlockNum block) const = 0;
+
+    /** Insert a contiguous run just read from the media. */
+    virtual void insertRun(BlockNum start, std::uint64_t count) = 0;
+
+    /**
+     * Drop any cached copies of [start, start+count); used when the
+     * host overwrites blocks on the media.
+     */
+    virtual void invalidateRange(BlockNum start,
+                                 std::uint64_t count) = 0;
+
+    /** Capacity in blocks. */
+    virtual std::uint64_t capacityBlocks() const = 0;
+
+    /** Blocks currently held. */
+    virtual std::uint64_t usedBlocks() const = 0;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_CACHE_CONTROLLER_CACHE_HH

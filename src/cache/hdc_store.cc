@@ -1,0 +1,81 @@
+#include "cache/hdc_store.hh"
+
+namespace dtsim {
+
+HdcStore::HdcStore(std::uint64_t capacity_blocks)
+    : capacity_(capacity_blocks)
+{
+}
+
+bool
+HdcStore::pin(BlockNum block)
+{
+    if (blocks_.size() >= capacity_)
+        return false;
+    return blocks_.emplace(block, false).second;
+}
+
+bool
+HdcStore::unpin(BlockNum block, bool* was_dirty)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return false;
+    if (was_dirty)
+        *was_dirty = it->second;
+    if (it->second)
+        --dirty_;
+    blocks_.erase(it);
+    return true;
+}
+
+bool
+HdcStore::contains(BlockNum block) const
+{
+    return blocks_.count(block) != 0;
+}
+
+std::uint64_t
+HdcStore::prefixPinned(BlockNum start, std::uint64_t count) const
+{
+    std::uint64_t n = 0;
+    while (n < count && contains(start + n))
+        ++n;
+    return n;
+}
+
+bool
+HdcStore::allPinned(BlockNum start, std::uint64_t count) const
+{
+    return prefixPinned(start, count) == count;
+}
+
+bool
+HdcStore::absorbWrite(BlockNum block)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return false;
+    if (!it->second) {
+        it->second = true;
+        ++dirty_;
+    }
+    return true;
+}
+
+std::vector<BlockNum>
+HdcStore::flush()
+{
+    std::vector<BlockNum> out;
+    out.reserve(dirty_);
+    for (auto& [block, is_dirty] : blocks_) {
+        if (is_dirty) {
+            out.push_back(block);
+            is_dirty = false;
+        }
+    }
+    dirty_ = 0;
+    return out;
+}
+
+} // namespace dtsim

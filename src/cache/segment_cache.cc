@@ -1,0 +1,193 @@
+#include "cache/segment_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+const char*
+segmentPolicyName(SegmentPolicy p)
+{
+    switch (p) {
+      case SegmentPolicy::LRU: return "LRU";
+      case SegmentPolicy::FIFO: return "FIFO";
+      case SegmentPolicy::Random: return "Random";
+      case SegmentPolicy::RoundRobin: return "RoundRobin";
+    }
+    return "?";
+}
+
+SegmentCache::SegmentCache(std::uint64_t num_segments,
+                           std::uint64_t segment_blocks,
+                           SegmentPolicy policy, std::uint64_t seed)
+    : segments_(num_segments), segmentBlocks_(segment_blocks),
+      policy_(policy), rng_(seed)
+{
+    if (num_segments == 0 || segment_blocks == 0)
+        fatal("SegmentCache: segments and segment size must be > 0");
+}
+
+int
+SegmentCache::findSegment(BlockNum block) const
+{
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const Segment& s = segments_[i];
+        if (s.valid && block >= s.start && block < s.end)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+SegmentCache::findAppendable(BlockNum block) const
+{
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const Segment& s = segments_[i];
+        if (s.valid && s.end == block)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::uint64_t
+SegmentCache::lookupPrefix(BlockNum start, std::uint64_t count)
+{
+    ++clock_;
+    const int idx = findSegment(start);
+    if (idx < 0)
+        return 0;
+    Segment& s = segments_[static_cast<std::size_t>(idx)];
+    s.lastUse = clock_;
+    const std::uint64_t in_seg = s.end - start;
+    std::uint64_t hits = std::min(count, in_seg);
+    // The run may continue in an adjacent segment (stream split after
+    // a very large read); follow it.
+    while (hits < count) {
+        const int nxt = findSegment(start + hits);
+        if (nxt < 0)
+            break;
+        Segment& n = segments_[static_cast<std::size_t>(nxt)];
+        n.lastUse = clock_;
+        const std::uint64_t more =
+            std::min(count - hits, n.end - (start + hits));
+        hits += more;
+    }
+    return hits;
+}
+
+bool
+SegmentCache::contains(BlockNum block) const
+{
+    return findSegment(block) >= 0;
+}
+
+std::size_t
+SegmentCache::pickVictim()
+{
+    // Prefer an unused segment.
+    for (std::size_t i = 0; i < segments_.size(); ++i)
+        if (!segments_[i].valid)
+            return i;
+
+    ++replacements_;
+    switch (policy_) {
+      case SegmentPolicy::LRU: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < segments_.size(); ++i)
+            if (segments_[i].lastUse < segments_[best].lastUse)
+                best = i;
+        return best;
+      }
+      case SegmentPolicy::FIFO: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < segments_.size(); ++i)
+            if (segments_[i].created < segments_[best].created)
+                best = i;
+        return best;
+      }
+      case SegmentPolicy::Random:
+        return static_cast<std::size_t>(rng_.below(segments_.size()));
+      case SegmentPolicy::RoundRobin: {
+        const std::size_t v = rrCursor_;
+        rrCursor_ = (rrCursor_ + 1) % segments_.size();
+        return v;
+      }
+    }
+    return 0;
+}
+
+void
+SegmentCache::insertRun(BlockNum start, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    ++clock_;
+
+    // Stream continuation: extend the segment that ends where this run
+    // starts (the segment keeps only its most recent segmentBlocks_).
+    int idx = findAppendable(start);
+    if (idx < 0) {
+        // Or a segment already containing the run start (re-read).
+        idx = findSegment(start);
+    }
+    if (idx >= 0) {
+        Segment& s = segments_[static_cast<std::size_t>(idx)];
+        s.end = std::max(s.end, start + count);
+        if (s.end - s.start > segmentBlocks_)
+            s.start = s.end - segmentBlocks_;
+        s.lastUse = clock_;
+        return;
+    }
+
+    // New stream: take a whole victim segment.
+    const std::size_t v = pickVictim();
+    Segment& s = segments_[v];
+    s.valid = true;
+    s.end = start + count;
+    s.start = count > segmentBlocks_ ? s.end - segmentBlocks_ : start;
+    s.lastUse = clock_;
+    s.created = clock_;
+}
+
+void
+SegmentCache::invalidateRange(BlockNum start, std::uint64_t count)
+{
+    const BlockNum lo = start;
+    const BlockNum hi = start + count;
+    for (Segment& s : segments_) {
+        if (!s.valid || hi <= s.start || lo >= s.end)
+            continue;
+        if (lo <= s.start && hi >= s.end) {
+            s.valid = false;            // Fully covered.
+        } else if (lo <= s.start) {
+            s.start = hi;               // Head overlap.
+        } else {
+            s.end = lo;                 // Tail (or middle) overlap:
+        }                               // drop everything from lo on.
+        if (s.valid && s.start >= s.end)
+            s.valid = false;
+    }
+}
+
+std::uint64_t
+SegmentCache::usedBlocks() const
+{
+    std::uint64_t used = 0;
+    for (const Segment& s : segments_)
+        if (s.valid)
+            used += s.end - s.start;
+    return used;
+}
+
+std::uint64_t
+SegmentCache::activeSegments() const
+{
+    std::uint64_t n = 0;
+    for (const Segment& s : segments_)
+        if (s.valid)
+            ++n;
+    return n;
+}
+
+} // namespace dtsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The conventional segment-based controller cache (Section 2.1).
+ *
+ * The cache memory is divided into a fixed number of equal-size
+ * segments, each holding one sequential stream's most recent blocks as
+ * a contiguous run. The whole victim segment is replaced when a new
+ * stream needs space; the victim policy is configurable (LRU default;
+ * FIFO, Random, and RoundRobin per the literature the paper cites).
+ */
+
+#ifndef DTSIM_CACHE_SEGMENT_CACHE_HH
+#define DTSIM_CACHE_SEGMENT_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/controller_cache.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+
+/** Victim-selection policy for segment replacement. */
+enum class SegmentPolicy { LRU, FIFO, Random, RoundRobin };
+
+const char* segmentPolicyName(SegmentPolicy p);
+
+/** Segment-organized controller cache. */
+class SegmentCache : public ControllerCache
+{
+  public:
+    /**
+     * @param num_segments Number of segments (e.g. 27).
+     * @param segment_blocks Blocks per segment (e.g. 32 for 128 KB).
+     * @param policy Victim-selection policy.
+     * @param seed RNG seed (used by the Random policy only).
+     */
+    SegmentCache(std::uint64_t num_segments,
+                 std::uint64_t segment_blocks,
+                 SegmentPolicy policy = SegmentPolicy::LRU,
+                 std::uint64_t seed = 1);
+
+    std::uint64_t lookupPrefix(BlockNum start,
+                               std::uint64_t count) override;
+    bool contains(BlockNum block) const override;
+    void insertRun(BlockNum start, std::uint64_t count) override;
+    void invalidateRange(BlockNum start, std::uint64_t count) override;
+
+    std::uint64_t
+    capacityBlocks() const override
+    {
+        return segments_.size() * segmentBlocks_;
+    }
+
+    std::uint64_t usedBlocks() const override;
+
+    /** Number of segments currently holding data. */
+    std::uint64_t activeSegments() const;
+
+    /** Whole-segment replacements performed so far. */
+    std::uint64_t replacements() const { return replacements_; }
+
+  private:
+    struct Segment
+    {
+        bool valid = false;
+        BlockNum start = 0;     ///< First cached block of the run.
+        BlockNum end = 0;       ///< One past the last cached block.
+        std::uint64_t lastUse = 0;
+        std::uint64_t created = 0;
+    };
+
+    /** Index of the segment containing `block`, or -1. */
+    int findSegment(BlockNum block) const;
+
+    /** Index of the segment whose run ends exactly at `block`, or -1. */
+    int findAppendable(BlockNum block) const;
+
+    /** Pick a victim segment index (an invalid one if any). */
+    std::size_t pickVictim();
+
+    std::vector<Segment> segments_;
+    std::uint64_t segmentBlocks_;
+    SegmentPolicy policy_;
+    Rng rng_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t replacements_ = 0;
+    std::size_t rrCursor_ = 0;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_CACHE_SEGMENT_CACHE_HH

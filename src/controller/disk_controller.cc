@@ -1,0 +1,450 @@
+#include "controller/disk_controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+const char*
+cacheOrgName(CacheOrg o)
+{
+    switch (o) {
+      case CacheOrg::Segment: return "Segment";
+      case CacheOrg::Block: return "Block";
+    }
+    return "?";
+}
+
+const char*
+readAheadModeName(ReadAheadMode m)
+{
+    switch (m) {
+      case ReadAheadMode::None: return "None";
+      case ReadAheadMode::Blind: return "Blind";
+      case ReadAheadMode::FOR: return "FOR";
+    }
+    return "?";
+}
+
+DiskController::DiskController(EventQueue& eq, ScsiBus& bus,
+                               const DiskParams& params,
+                               const ControllerConfig& cfg,
+                               unsigned disk_id)
+    : eq_(eq), bus_(bus), params_(params), cfg_(cfg), diskId_(disk_id),
+      geom_(params_), mech_(params_, geom_),
+      sched_(makeScheduler(cfg.scheduler))
+{
+    if (params_.recordingZones > 0) {
+        zoned_ = std::make_unique<ZonedGeometry>(
+            ZonedGeometry::makeDefault(params_,
+                                       params_.recordingZones));
+        mech_.setZonedGeometry(zoned_.get());
+    }
+
+    // Carve the controller memory: HDC region and (for FOR) the
+    // layout bitmap come out of the read-ahead cache budget.
+    std::uint64_t ra_bytes = params_.usableCacheBytes();
+    if (cfg_.hdcBytes > 0) {
+        if (cfg_.hdcBytes >= ra_bytes)
+            fatal("DiskController: HDC budget exceeds cache memory");
+        ra_bytes -= cfg_.hdcBytes;
+        hdc_ = std::make_unique<HdcStore>(
+            cfg_.hdcBytes / params_.blockSize);
+    }
+    if (cfg_.readAhead == ReadAheadMode::FOR) {
+        const std::uint64_t bm = params_.bitmapBytes();
+        if (bm >= ra_bytes)
+            fatal("DiskController: no memory left for the FOR bitmap");
+        ra_bytes -= bm;
+    }
+
+    maxReadBlocks_ =
+        std::max<std::uint64_t>(1, params_.segmentBlocks());
+
+    if (cfg_.org == CacheOrg::Segment) {
+        const std::uint64_t nseg =
+            std::max<std::uint64_t>(1, ra_bytes / params_.segmentBytes);
+        raCache_ = std::make_unique<SegmentCache>(
+            nseg, params_.segmentBlocks(), cfg_.segmentPolicy,
+            cfg_.seed + disk_id);
+    } else {
+        const std::uint64_t nblk =
+            std::max<std::uint64_t>(8, ra_bytes / params_.blockSize);
+        raCache_ = std::make_unique<BlockCache>(nblk, cfg_.blockPolicy);
+    }
+}
+
+std::uint64_t
+DiskController::raCacheBlocks() const
+{
+    return raCache_->capacityBlocks();
+}
+
+std::uint64_t
+DiskController::hdcCapacityBlocks() const
+{
+    return hdc_ ? hdc_->capacityBlocks() : 0;
+}
+
+std::uint64_t
+DiskController::hdcPinnedBlocks() const
+{
+    return hdc_ ? hdc_->pinnedBlocks() : 0;
+}
+
+double
+DiskController::utilization() const
+{
+    const Tick now = eq_.now();
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(stats_.mediaBusy) /
+           static_cast<double>(now);
+}
+
+void
+DiskController::submit(IoRequest req)
+{
+    if (req.count == 0)
+        fatal("DiskController: zero-length request");
+    if (req.start + req.count > params_.totalBlocks())
+        fatal("DiskController: request past end of disk %u", diskId_);
+    if (cfg_.readAhead == ReadAheadMode::FOR && bitmap_ == nullptr)
+        fatal("DiskController: FOR requires a layout bitmap");
+
+    ++outstanding_;
+    req.issued = eq_.now();
+
+    Tick overhead = params_.requestOverhead;
+    if (hdc_)
+        overhead += params_.hdcLookupOverhead;
+    if (cfg_.readAhead == ReadAheadMode::FOR && !req.isWrite)
+        overhead += params_.bitmapLookupOverhead;
+
+    eq_.scheduleAfter(overhead, [this, r = std::move(req)]() mutable {
+        process(std::move(r));
+    });
+}
+
+DiskController::PrefixHit
+DiskController::cachedPrefix(BlockNum start, std::uint64_t count)
+{
+    PrefixHit hit;
+    while (hit.blocks < count) {
+        const BlockNum b = start + hit.blocks;
+        if (hdc_ && hdc_->contains(b)) {
+            ++hit.blocks;
+            ++hit.hdcBlocks;
+            continue;
+        }
+        if (raCache_->lookupPrefix(b, 1) == 1) {
+            ++hit.blocks;
+            continue;
+        }
+        break;
+    }
+    return hit;
+}
+
+void
+DiskController::process(IoRequest req)
+{
+    if (req.isWrite)
+        handleWrite(std::move(req));
+    else
+        handleRead(std::move(req));
+}
+
+void
+DiskController::handleRead(IoRequest req)
+{
+    ++stats_.reads;
+    stats_.readBlocks += req.count;
+
+    const PrefixHit hit = cachedPrefix(req.start, req.count);
+    stats_.hdcHitBlocks += hit.hdcBlocks;
+    stats_.raHitBlocks += hit.blocks - hit.hdcBlocks;
+
+    // Cached blocks at the tail of the request need not be read from
+    // the media either; the single media access covers only
+    // [first missing, last missing].
+    std::uint64_t suffix = 0;
+    std::uint64_t suffix_hdc = 0;
+    while (hit.blocks + suffix < req.count) {
+        const BlockNum b = req.start + req.count - 1 - suffix;
+        if (hdc_ && hdc_->contains(b)) {
+            ++suffix;
+            ++suffix_hdc;
+            continue;
+        }
+        if (raCache_->contains(b)) {
+            ++suffix;
+            continue;
+        }
+        break;
+    }
+    stats_.hdcHitBlocks += suffix_hdc;
+    stats_.raHitBlocks += suffix - suffix_hdc;
+
+    if (hit.blocks + suffix >= req.count) {
+        ++stats_.cacheHitRequests;
+        if (hit.hdcBlocks + suffix_hdc == req.count) {
+            ++stats_.hdcHitRequests;
+            req.served = ServiceClass::HdcHit;
+        } else {
+            req.served = ServiceClass::CacheHit;
+        }
+        respond(std::move(req), eq_.now());
+        return;
+    }
+
+    auto job = std::make_unique<MediaJob>();
+    job->mediaStart = req.start + hit.blocks;
+    job->mediaCount = req.count - hit.blocks - suffix;
+    job->cylinder = geom_.blockToCylinder(job->mediaStart);
+    job->seq = seq_++;
+    job->req = std::move(req);
+    job->req.served = ServiceClass::Media;
+    enqueueMedia(std::move(job));
+}
+
+void
+DiskController::handleWrite(IoRequest req)
+{
+    ++stats_.writes;
+    stats_.writeBlocks += req.count;
+
+    if (hdc_ && hdc_->allPinned(req.start, req.count)) {
+        // The HDC store absorbs the whole write; dirty blocks reach
+        // the media only on flush_hdc().
+        for (std::uint64_t i = 0; i < req.count; ++i)
+            hdc_->absorbWrite(req.start + i);
+        stats_.hdcHitBlocks += req.count;
+        ++stats_.hdcHitRequests;
+        ++stats_.cacheHitRequests;
+        req.served = ServiceClass::HdcHit;
+        respond(std::move(req), eq_.now());
+        return;
+    }
+
+    // Write-through: cached read-ahead copies become stale.
+    raCache_->invalidateRange(req.start, req.count);
+
+    auto job = std::make_unique<MediaJob>();
+    job->mediaStart = req.start;
+    job->mediaCount = req.count;
+    job->cylinder = geom_.blockToCylinder(req.start);
+    job->seq = seq_++;
+    job->req = std::move(req);
+    job->req.served = ServiceClass::Media;
+    enqueueMedia(std::move(job));
+}
+
+void
+DiskController::enqueueMedia(std::unique_ptr<MediaJob> job)
+{
+    sched_->push(std::move(job));
+    tryStartMedia();
+}
+
+void
+DiskController::tryStartMedia()
+{
+    if (mediaBusy_ || sched_->empty())
+        return;
+    auto job = sched_->pop(mech_.currentCylinder());
+    startMedia(std::move(job));
+}
+
+std::uint64_t
+DiskController::readAheadBlocks(BlockNum media_start,
+                                std::uint64_t media_count) const
+{
+    std::uint64_t ra = 0;
+    const std::uint64_t budget =
+        media_count < maxReadBlocks_ ? maxReadBlocks_ - media_count : 0;
+
+    switch (cfg_.readAhead) {
+      case ReadAheadMode::None:
+        break;
+      case ReadAheadMode::Blind:
+        ra = budget;
+        break;
+      case ReadAheadMode::FOR:
+        // Read ahead only while the bitmap marks blocks as the
+        // logical continuation of their physical predecessor.
+        ra = bitmap_->countRun(media_start + media_count, budget);
+        break;
+    }
+
+    const std::uint64_t end = media_start + media_count;
+    const std::uint64_t total = params_.totalBlocks();
+    if (end + ra > total)
+        ra = total - end;
+    return ra;
+}
+
+void
+DiskController::startMedia(std::unique_ptr<MediaJob> job)
+{
+    mediaBusy_ = true;
+
+    std::uint64_t ra = 0;
+    if (!job->req.isWrite)
+        ra = readAheadBlocks(job->mediaStart, job->mediaCount);
+
+    MediaAccess acc;
+    acc.startSector = geom_.blockToSector(job->mediaStart);
+    acc.sectorCount =
+        (job->mediaCount + ra) * geom_.sectorsPerBlock();
+    acc.isWrite = job->req.isWrite;
+
+    const ServiceTiming t = mech_.service(acc, eq_.now());
+
+    ++stats_.mediaAccesses;
+    if (job->background)
+        stats_.flushBlocks += job->mediaCount;
+    else
+        stats_.mediaBlocks += job->mediaCount;
+    stats_.readAheadBlocks += ra;
+    stats_.seekTime += t.seek + t.settle;
+    stats_.rotTime += t.rotational;
+    stats_.xferTime += t.transfer;
+    stats_.mediaBusy += t.total();
+
+    MediaJob* raw = job.release();
+    eq_.scheduleAfter(t.total(), [this, raw, ra]() {
+        onMediaDone(std::unique_ptr<MediaJob>(raw), ra);
+    });
+}
+
+void
+DiskController::insertIntoCache(BlockNum start, std::uint64_t count)
+{
+    if (!hdc_) {
+        raCache_->insertRun(start, count);
+        return;
+    }
+    // Skip pinned blocks: they live in the HDC region already.
+    std::uint64_t i = 0;
+    while (i < count) {
+        if (hdc_->contains(start + i)) {
+            ++i;
+            continue;
+        }
+        std::uint64_t j = i + 1;
+        while (j < count && !hdc_->contains(start + j))
+            ++j;
+        raCache_->insertRun(start + i, j - i);
+        i = j;
+    }
+}
+
+void
+DiskController::onMediaDone(std::unique_ptr<MediaJob> job,
+                            std::uint64_t ra_blocks)
+{
+    mediaBusy_ = false;
+
+    if (!job->req.isWrite) {
+        insertIntoCache(job->mediaStart, job->mediaCount + ra_blocks);
+        // The demanded blocks are consumed by the host now; mark them
+        // used so MRU replacement sees them as dead.
+        raCache_->lookupPrefix(job->mediaStart, job->mediaCount);
+    }
+
+    if (job->background) {
+        ++stats_.flushWrites;
+    } else {
+        respond(std::move(job->req), eq_.now());
+    }
+
+    tryStartMedia();
+}
+
+void
+DiskController::respond(IoRequest req, Tick ready)
+{
+    const Tick done =
+        bus_.transfer(ready, req.count * params_.blockSize);
+    eq_.scheduleAt(done, [this, r = std::move(req), done]() {
+        --outstanding_;
+        if (r.onComplete)
+            r.onComplete(r, done);
+    });
+}
+
+bool
+DiskController::pinBlock(BlockNum block)
+{
+    if (!hdc_)
+        return false;
+    if (block >= params_.totalBlocks())
+        fatal("DiskController: pin past end of disk");
+    if (!hdc_->pin(block))
+        return false;
+    // The block now lives in the pinned region; drop any read-ahead
+    // copy so the space accounting stays honest.
+    raCache_->invalidateRange(block, 1);
+    return true;
+}
+
+bool
+DiskController::unpinBlock(BlockNum block)
+{
+    if (!hdc_)
+        return false;
+    bool dirty = false;
+    if (!hdc_->unpin(block, &dirty))
+        return false;
+    if (dirty) {
+        // The released block's data must reach the media.
+        auto job = std::make_unique<MediaJob>();
+        job->mediaStart = block;
+        job->mediaCount = 1;
+        job->cylinder = geom_.blockToCylinder(block);
+        job->seq = seq_++;
+        job->background = true;
+        job->req.isWrite = true;
+        job->req.start = block;
+        job->req.count = 1;
+        enqueueMedia(std::move(job));
+    }
+    return true;
+}
+
+std::uint64_t
+DiskController::flushHdc()
+{
+    if (!hdc_)
+        return 0;
+    std::vector<BlockNum> dirty = hdc_->flush();
+    if (dirty.empty())
+        return 0;
+    std::sort(dirty.begin(), dirty.end());
+
+    // Coalesce contiguous runs into single media writes.
+    std::uint64_t jobs = 0;
+    std::size_t i = 0;
+    while (i < dirty.size()) {
+        std::size_t j = i + 1;
+        while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1)
+            ++j;
+        auto job = std::make_unique<MediaJob>();
+        job->mediaStart = dirty[i];
+        job->mediaCount = j - i;
+        job->cylinder = geom_.blockToCylinder(dirty[i]);
+        job->seq = seq_++;
+        job->background = true;
+        job->req.isWrite = true;
+        job->req.start = dirty[i];
+        job->req.count = j - i;
+        enqueueMedia(std::move(job));
+        ++jobs;
+        i = j;
+    }
+    return jobs;
+}
+
+} // namespace dtsim

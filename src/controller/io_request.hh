@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The request type exchanged between the host and a disk controller.
+ */
+
+#ifndef DTSIM_CONTROLLER_IO_REQUEST_HH
+#define DTSIM_CONTROLLER_IO_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "disk/geometry.hh"
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+/** How a completed request was served. */
+enum class ServiceClass
+{
+    CacheHit,   ///< Entirely from the read-ahead cache and/or HDC.
+    HdcHit,     ///< Entirely from the HDC pinned store.
+    Media,      ///< Needed a media access.
+};
+
+/** One request from the host to one disk controller. */
+struct IoRequest
+{
+    /** Completion callback: (request, completion time). */
+    using Callback = std::function<void(const IoRequest&, Tick)>;
+
+    std::uint64_t id = 0;
+    unsigned diskId = 0;
+
+    /** First 4 KB block, local to the target disk. */
+    BlockNum start = 0;
+
+    /** Number of blocks. */
+    std::uint64_t count = 1;
+
+    bool isWrite = false;
+
+    /** Host issue time. */
+    Tick issued = 0;
+
+    /** How the request was ultimately served (set at completion). */
+    ServiceClass served = ServiceClass::Media;
+
+    Callback onComplete;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_CONTROLLER_IO_REQUEST_HH

@@ -1,0 +1,51 @@
+#include "controller/layout_bitmap.hh"
+
+#include <bit>
+
+namespace dtsim {
+
+LayoutBitmap::LayoutBitmap(std::uint64_t total_blocks)
+    : totalBlocks_(total_blocks),
+      words_((total_blocks + 63) / 64, 0)
+{
+}
+
+void
+LayoutBitmap::set(BlockNum block, bool continuation)
+{
+    if (block >= totalBlocks_)
+        return;
+    const std::uint64_t mask = 1ULL << (block % 64);
+    if (continuation)
+        words_[block / 64] |= mask;
+    else
+        words_[block / 64] &= ~mask;
+}
+
+bool
+LayoutBitmap::get(BlockNum block) const
+{
+    if (block >= totalBlocks_)
+        return false;
+    return (words_[block / 64] >> (block % 64)) & 1ULL;
+}
+
+std::uint64_t
+LayoutBitmap::countRun(BlockNum block, std::uint64_t max_count) const
+{
+    std::uint64_t n = 0;
+    while (n < max_count && get(block + n))
+        ++n;
+    return n;
+}
+
+std::uint64_t
+LayoutBitmap::popcount() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t w : words_)
+        n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+}
+
+} // namespace dtsim

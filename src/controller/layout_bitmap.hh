@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The FOR layout bitmap (Section 4).
+ *
+ * One bit per disk block: bit b is 1 iff block b is the logical
+ * continuation, within a file, of block b-1 on the same disk. The
+ * controller counts consecutive 1-bits after a request to bound its
+ * read-ahead at the end of the file's physically-contiguous extent.
+ * For the default 18 GB drive with 4 KB blocks the bitmap occupies
+ * 546 KB of controller memory (0.003% of disk space).
+ */
+
+#ifndef DTSIM_CONTROLLER_LAYOUT_BITMAP_HH
+#define DTSIM_CONTROLLER_LAYOUT_BITMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/geometry.hh"
+
+namespace dtsim {
+
+/** Per-disk file-layout continuation bitmap. */
+class LayoutBitmap
+{
+  public:
+    /** All bits start 0 (no continuations). */
+    explicit LayoutBitmap(std::uint64_t total_blocks);
+
+    /** Set/clear the continuation bit of a block. */
+    void set(BlockNum block, bool continuation);
+
+    /** Continuation bit of a block; out-of-range reads are 0. */
+    bool get(BlockNum block) const;
+
+    /**
+     * Count consecutive continuation bits starting at `block`:
+     * the number of blocks at and after `block` that a FOR read-ahead
+     * beginning there may fetch, capped at `max_count`.
+     */
+    std::uint64_t countRun(BlockNum block,
+                           std::uint64_t max_count) const;
+
+    std::uint64_t totalBlocks() const { return totalBlocks_; }
+
+    /** Memory footprint of the bitmap in bytes. */
+    std::uint64_t
+    sizeBytes() const
+    {
+        return (totalBlocks_ + 7) / 8;
+    }
+
+    /** Number of set bits (for tests and reporting). */
+    std::uint64_t popcount() const;
+
+  private:
+    std::uint64_t totalBlocks_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_CONTROLLER_LAYOUT_BITMAP_HH

@@ -1,0 +1,131 @@
+#include "controller/scheduler.hh"
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+void
+FcfsScheduler::push(std::unique_ptr<MediaJob> job)
+{
+    queue_.push_back(std::move(job));
+}
+
+std::unique_ptr<MediaJob>
+FcfsScheduler::pop(std::uint32_t)
+{
+    if (queue_.empty())
+        return nullptr;
+    auto job = std::move(queue_.front());
+    queue_.pop_front();
+    return job;
+}
+
+void
+SweepScheduler::push(std::unique_ptr<MediaJob> job)
+{
+    const std::uint32_t cyl = job->cylinder;
+    byCylinder_.emplace(cyl, std::move(job));
+    ++count_;
+}
+
+const char*
+SweepScheduler::name() const
+{
+    switch (kind_) {
+      case Kind::LOOK: return "LOOK";
+      case Kind::CLOOK: return "C-LOOK";
+      case Kind::SSTF: return "SSTF";
+    }
+    return "?";
+}
+
+std::unique_ptr<MediaJob>
+SweepScheduler::pop(std::uint32_t cylinder)
+{
+    if (byCylinder_.empty())
+        return nullptr;
+
+    Map::iterator pick;
+
+    switch (kind_) {
+      case Kind::LOOK: {
+        if (goingUp_) {
+            pick = byCylinder_.lower_bound(cylinder);
+            if (pick == byCylinder_.end()) {
+                goingUp_ = false;
+                pick = std::prev(byCylinder_.end());
+            }
+        } else {
+            // Find the largest key <= cylinder.
+            auto it = byCylinder_.upper_bound(cylinder);
+            if (it == byCylinder_.begin()) {
+                goingUp_ = true;
+                pick = byCylinder_.begin();
+            } else {
+                pick = std::prev(it);
+            }
+        }
+        break;
+      }
+      case Kind::CLOOK: {
+        pick = byCylinder_.lower_bound(cylinder);
+        if (pick == byCylinder_.end())
+            pick = byCylinder_.begin();    // Wrap to the lowest.
+        break;
+      }
+      case Kind::SSTF: {
+        auto up = byCylinder_.lower_bound(cylinder);
+        if (up == byCylinder_.end()) {
+            pick = std::prev(byCylinder_.end());
+        } else if (up == byCylinder_.begin()) {
+            pick = up;
+        } else {
+            auto down = std::prev(up);
+            const std::uint32_t d_up = up->first - cylinder;
+            const std::uint32_t d_down = cylinder - down->first;
+            pick = d_down <= d_up ? down : up;
+        }
+        break;
+      }
+      default:
+        panic("SweepScheduler: bad kind");
+    }
+
+    auto job = std::move(pick->second);
+    byCylinder_.erase(pick);
+    --count_;
+    return job;
+}
+
+const char*
+schedulerKindName(SchedulerKind k)
+{
+    switch (k) {
+      case SchedulerKind::FCFS: return "FCFS";
+      case SchedulerKind::LOOK: return "LOOK";
+      case SchedulerKind::CLOOK: return "C-LOOK";
+      case SchedulerKind::SSTF: return "SSTF";
+    }
+    return "?";
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::FCFS:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::LOOK:
+        return std::make_unique<SweepScheduler>(
+            SweepScheduler::Kind::LOOK);
+      case SchedulerKind::CLOOK:
+        return std::make_unique<SweepScheduler>(
+            SweepScheduler::Kind::CLOOK);
+      case SchedulerKind::SSTF:
+        return std::make_unique<SweepScheduler>(
+            SweepScheduler::Kind::SSTF);
+    }
+    panic("makeScheduler: bad kind");
+}
+
+} // namespace dtsim

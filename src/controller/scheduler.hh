@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Media-request scheduling inside a disk controller.
+ *
+ * The paper's controllers use the LOOK (elevator) algorithm; FCFS,
+ * C-LOOK, and SSTF are provided for the scheduling ablation.
+ */
+
+#ifndef DTSIM_CONTROLLER_SCHEDULER_HH
+#define DTSIM_CONTROLLER_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "controller/io_request.hh"
+#include "disk/geometry.hh"
+
+namespace dtsim {
+
+/** One queued media operation (host request plus its media range). */
+struct MediaJob
+{
+    IoRequest req;
+
+    /** First block the media access must cover. */
+    BlockNum mediaStart = 0;
+
+    /** Blocks the media access must cover (missing suffix). */
+    std::uint64_t mediaCount = 0;
+
+    /** Target cylinder (precomputed for scheduling). */
+    std::uint32_t cylinder = 0;
+
+    /** Arrival order for FCFS/tie-breaking. */
+    std::uint64_t seq = 0;
+
+    /** True for host-invisible work (e.g. HDC flush writes). */
+    bool background = false;
+};
+
+/** Queue + policy for picking the next media access. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual void push(std::unique_ptr<MediaJob> job) = 0;
+
+    /**
+     * Remove and return the next job to service given the arm's
+     * current cylinder; nullptr if the queue is empty.
+     */
+    virtual std::unique_ptr<MediaJob> pop(std::uint32_t cylinder) = 0;
+
+    virtual std::size_t size() const = 0;
+
+    bool empty() const { return size() == 0; }
+
+    virtual const char* name() const = 0;
+};
+
+/** First-come first-served. */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    void push(std::unique_ptr<MediaJob> job) override;
+    std::unique_ptr<MediaJob> pop(std::uint32_t cylinder) override;
+    std::size_t size() const override { return queue_.size(); }
+    const char* name() const override { return "FCFS"; }
+
+  private:
+    std::deque<std::unique_ptr<MediaJob>> queue_;
+};
+
+/**
+ * Cylinder-ordered scheduler base: jobs keyed by target cylinder.
+ * LOOK sweeps alternately up and down; C-LOOK sweeps up only and
+ * wraps; SSTF always takes the nearest cylinder.
+ */
+class SweepScheduler : public Scheduler
+{
+  public:
+    enum class Kind { LOOK, CLOOK, SSTF };
+
+    explicit SweepScheduler(Kind kind) : kind_(kind) {}
+
+    void push(std::unique_ptr<MediaJob> job) override;
+    std::unique_ptr<MediaJob> pop(std::uint32_t cylinder) override;
+    std::size_t size() const override { return count_; }
+    const char* name() const override;
+
+  private:
+    using Map = std::multimap<std::uint32_t,
+                              std::unique_ptr<MediaJob>>;
+
+    Kind kind_;
+    Map byCylinder_;
+    std::size_t count_ = 0;
+    bool goingUp_ = true;
+};
+
+/** Scheduler kinds for configuration. */
+enum class SchedulerKind { FCFS, LOOK, CLOOK, SSTF };
+
+const char* schedulerKindName(SchedulerKind k);
+
+/** Factory. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+
+} // namespace dtsim
+
+#endif // DTSIM_CONTROLLER_SCHEDULER_HH

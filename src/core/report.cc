@@ -1,0 +1,78 @@
+#include "core/report.hh"
+
+#include "stats/stats.hh"
+
+namespace dtsim {
+
+void
+printReport(std::ostream& os, const SystemConfig& cfg,
+            const RunResult& r)
+{
+    stats::StatGroup root("sim");
+
+    stats::Scalar io_time(root, "io_time_ms",
+                          "total I/O time (makespan)");
+    io_time.set(toMillis(r.ioTime));
+    stats::Scalar flush(root, "hdc_flush_ms",
+                        "extra time flushing dirty HDC blocks");
+    flush.set(toMillis(r.flushTime));
+    stats::Scalar reqs(root, "requests",
+                       "disk requests completed");
+    reqs.set(static_cast<double>(r.requests));
+    stats::Scalar blocks(root, "blocks", "blocks transferred");
+    blocks.set(static_cast<double>(r.blocks));
+    stats::Scalar tput(root, "throughput_mbps",
+                       "delivered throughput");
+    tput.set(r.throughputMBps);
+    stats::Scalar lat(root, "mean_latency_ms",
+                      "mean request latency");
+    lat.set(r.meanLatencyMs);
+    stats::Scalar util(root, "disk_utilization",
+                       "mean media busy fraction");
+    util.set(r.diskUtilization);
+
+    stats::StatGroup cache(root, "cache");
+    stats::Scalar hit(cache, "hit_rate",
+                      "requests served without media access");
+    hit.set(r.cacheHitRate);
+    stats::Scalar hdc_hit(cache, "hdc_hit_rate",
+                          "requests served by the HDC store");
+    hdc_hit.set(r.hdcHitRate);
+    stats::Scalar ra_blocks(cache, "read_ahead_blocks",
+                            "speculative blocks fetched");
+    ra_blocks.set(static_cast<double>(r.agg.readAheadBlocks));
+    stats::Scalar ra_hits(cache, "ra_hit_blocks",
+                          "blocks served from the read-ahead cache");
+    ra_hits.set(static_cast<double>(r.agg.raHitBlocks));
+    stats::Scalar hdc_blocks(cache, "hdc_hit_blocks",
+                             "blocks served from the HDC store");
+    hdc_blocks.set(static_cast<double>(r.agg.hdcHitBlocks));
+    stats::Scalar vpins(cache, "victim_pins",
+                        "victim-policy pin commands issued");
+    vpins.set(static_cast<double>(r.victimPins));
+
+    stats::StatGroup media(root, "media");
+    stats::Scalar accesses(media, "accesses", "media accesses");
+    accesses.set(static_cast<double>(r.agg.mediaAccesses));
+    stats::Scalar mblocks(media, "demand_blocks",
+                          "demanded blocks read/written");
+    mblocks.set(static_cast<double>(r.agg.mediaBlocks));
+    stats::Scalar seek(media, "seek_ms", "total seek time");
+    seek.set(toMillis(r.agg.seekTime));
+    stats::Scalar rot(media, "rotation_ms",
+                      "total rotational delay");
+    rot.set(toMillis(r.agg.rotTime));
+    stats::Scalar xfer(media, "transfer_ms",
+                       "total media transfer time");
+    xfer.set(toMillis(r.agg.xferTime));
+    stats::Scalar flushes(media, "hdc_flush_writes",
+                          "background HDC flush media jobs");
+    flushes.set(static_cast<double>(r.agg.flushWrites));
+
+    os << "system: " << cfg.label() << "  disks=" << cfg.disks
+       << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
+       << "  streams=" << cfg.streams << "\n";
+    root.print(os);
+}
+
+} // namespace dtsim

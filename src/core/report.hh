@@ -1,0 +1,30 @@
+/**
+ * @file
+ * gem5-style statistics reporting for simulation results: fills a
+ * stats::StatGroup hierarchy from a RunResult and prints it as
+ * aligned `name value # description` lines.
+ */
+
+#ifndef DTSIM_CORE_REPORT_HH
+#define DTSIM_CORE_REPORT_HH
+
+#include <ostream>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+
+namespace dtsim {
+
+/**
+ * Print a full statistics report for one run.
+ *
+ * @param os Output stream.
+ * @param cfg The system that ran.
+ * @param result Its results.
+ */
+void printReport(std::ostream& os, const SystemConfig& cfg,
+                 const RunResult& result);
+
+} // namespace dtsim
+
+#endif // DTSIM_CORE_REPORT_HH

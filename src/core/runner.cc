@@ -1,0 +1,100 @@
+#include "core/runner.hh"
+
+#include <memory>
+
+#include "hdc/victim_cache.hh"
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+std::uint64_t
+hdcBlocksPerDisk(const SystemConfig& cfg)
+{
+    return cfg.hdcBytesPerDisk / cfg.disk.blockSize;
+}
+
+RunResult
+runTrace(const SystemConfig& cfg, const Trace& trace,
+         const std::vector<LayoutBitmap>* bitmaps,
+         const std::vector<ArrayBlock>* pinned)
+{
+    EventQueue eq;
+    DiskArray array(eq, cfg.arrayConfig());
+
+    if (cfg.kind == SystemKind::FOR) {
+        if (!bitmaps)
+            fatal("runTrace: FOR systems need layout bitmaps");
+        array.setBitmaps(bitmaps);
+    }
+
+    if (cfg.hdcBytesPerDisk > 0 &&
+        cfg.hdcPolicy == HdcPolicy::Pinned && pinned) {
+        for (ArrayBlock lb : *pinned)
+            array.pinLogicalBlock(lb);
+    }
+
+    ReplayEngine engine(eq, array, trace, cfg.streams, cfg.workers);
+
+    std::unique_ptr<VictimHdcManager> victim;
+    if (cfg.hdcBytesPerDisk > 0 &&
+        cfg.hdcPolicy == HdcPolicy::VictimCache) {
+        victim = std::make_unique<VictimHdcManager>(
+            array, cfg.victimGhostBlocks);
+        engine.setObserver(
+            [&victim](const TraceRecord& rec, Tick) {
+                victim->onAccess(rec.start, rec.count);
+            });
+    }
+
+    const Tick io_time = engine.run();
+
+    Tick flush_time = 0;
+    if (cfg.hdcBytesPerDisk > 0 && cfg.flushHdcAtEnd) {
+        array.flushAllHdc();
+        eq.run();
+        flush_time = eq.now() > io_time ? eq.now() - io_time : 0;
+    }
+
+    RunResult res;
+    res.ioTime = io_time;
+    res.flushTime = flush_time;
+    res.requests = engine.metrics().requests;
+    res.blocks = engine.metrics().blocks;
+    res.meanLatencyMs = engine.metrics().meanLatencyMs();
+    if (victim) {
+        res.victimPins = victim->pins();
+        res.victimUnpins = victim->unpins();
+    }
+    res.agg = array.aggregateStats();
+
+    const std::uint64_t accesses = res.agg.reads + res.agg.writes;
+    if (accesses > 0) {
+        res.hdcHitRate =
+            static_cast<double>(res.agg.hdcHitRequests) /
+            static_cast<double>(accesses);
+        res.cacheHitRate =
+            static_cast<double>(res.agg.cacheHitRequests) /
+            static_cast<double>(accesses);
+    }
+
+    if (io_time > 0) {
+        // The busy time may include end-of-run HDC flush work, so
+        // utilization is taken over the full elapsed time.
+        const Tick elapsed = io_time + flush_time;
+        double util = 0.0;
+        for (unsigned d = 0; d < array.disks(); ++d) {
+            util += static_cast<double>(
+                        array.controller(d).stats().mediaBusy) /
+                    static_cast<double>(elapsed);
+        }
+        res.diskUtilization = util / array.disks();
+
+        const double bytes = static_cast<double>(res.blocks) *
+                             cfg.disk.blockSize;
+        res.throughputMBps = bytes / toSeconds(io_time) / 1.0e6;
+    }
+
+    return res;
+}
+
+} // namespace dtsim

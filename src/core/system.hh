@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The system variants compared throughout Section 6.
+ *
+ *  - Segm:  blind read-ahead, segment-based cache (the conventional
+ *           controller, baseline for all normalized results).
+ *  - Block: blind read-ahead, block-based cache.
+ *  - NoRA:  read-ahead disabled, block-based cache.
+ *  - FOR:   file-oriented read-ahead, block-based cache.
+ *
+ * Any of them can be combined with HDC by giving the pinned region a
+ * nonzero byte budget.
+ */
+
+#ifndef DTSIM_CORE_SYSTEM_HH
+#define DTSIM_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "array/disk_array.hh"
+#include "controller/disk_controller.hh"
+
+namespace dtsim {
+
+/** The compared controller designs. */
+enum class SystemKind { Segm, Block, NoRA, FOR };
+
+const char* systemKindName(SystemKind kind);
+
+/** Host policy driving the HDC pinned region. */
+enum class HdcPolicy
+{
+    /** Pin the most-missed blocks up front (the paper's policy). */
+    Pinned,
+
+    /** Array-wide victim cache for the host buffer cache (the other
+     *  use Section 5 proposes). */
+    VictimCache,
+};
+
+/** Full configuration of one simulated system. */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::Segm;
+
+    /** HDC pinned-region budget per controller (0 = HDC off). */
+    std::uint64_t hdcBytesPerDisk = 0;
+
+    /** How the host manages the HDC region. */
+    HdcPolicy hdcPolicy = HdcPolicy::Pinned;
+
+    /** Mirrored host-cache size for the VictimCache policy. */
+    std::uint64_t victimGhostBlocks = 100000;
+
+    unsigned disks = 8;
+    std::uint64_t stripeUnitBytes = 128 * kKiB;
+    DiskParams disk;
+
+    /** RAID-10 mirroring (halves the logical capacity). */
+    bool mirrored = false;
+
+    /** Concurrent I/O streams (client connections) during replay. */
+    unsigned streams = 128;
+
+    /**
+     * Server I/O thread-pool size: records in flight at once. A
+     * stream waits (FIFO) for a worker between its sequential
+     * records. 0 = one worker per stream.
+     */
+    unsigned workers = 0;
+
+    SchedulerKind scheduler = SchedulerKind::LOOK;
+    SegmentPolicy segmentPolicy = SegmentPolicy::LRU;
+    BlockPolicy blockPolicy = BlockPolicy::MRU;
+
+    /** Issue flush_hdc() after the trace drains. */
+    bool flushHdcAtEnd = true;
+
+    std::uint64_t seed = 1;
+
+    /** Short human-readable description, e.g. "FOR+HDC". */
+    std::string label() const;
+
+    /** The controller configuration this system implies. */
+    ControllerConfig controllerConfig() const;
+
+    /** The array configuration this system implies. */
+    ArrayConfig arrayConfig() const;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_CORE_SYSTEM_HH

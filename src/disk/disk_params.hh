@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Physical and controller parameters of a simulated disk drive.
+ *
+ * Defaults model the IBM Ultrastar 36Z15 exactly as in Table 1 of the
+ * paper: 18 GB, 15000 rpm, ~440 sectors/track, 3.4 ms average seek,
+ * 2.0 ms average rotational latency, 54 MB/s media rate, Ultra160
+ * interface, 4 MB controller cache, 4 KB blocks, and the published
+ * three-piece seek-curve coefficients.
+ */
+
+#ifndef DTSIM_DISK_DISK_PARAMS_HH
+#define DTSIM_DISK_DISK_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+/** Bytes in one kibibyte/mebibyte, for readability. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+/** Drive-level parameters (mechanism + controller memory). */
+struct DiskParams
+{
+    /// Formatted capacity in bytes (vendor gigabytes).
+    std::uint64_t capacityBytes = 18ULL * 1000 * 1000 * 1000;
+
+    /// Bytes per physical sector.
+    std::uint32_t sectorSize = 512;
+
+    /// Bytes per logical disk block (file-system block).
+    std::uint32_t blockSize = 4 * kKiB;
+
+    /// Spindle speed in revolutions per minute.
+    std::uint32_t rpm = 15000;
+
+    /// Sectors on each track. The drive is zoned (~340-440 sectors);
+    /// 422 makes the media rate exactly the 54 MB/s raw transfer
+    /// rate of Table 1 (422 * 512 B * 250 rev/s).
+    std::uint32_t sectorsPerTrack = 422;
+
+    /// Zoned recording: number of recording zones grading from 440
+    /// (outer) to 340 (inner) sectors/track. 0 keeps the flat
+    /// single-rate model; the zoned model only changes media
+    /// transfer rates (outer zones faster), not positioning.
+    unsigned recordingZones = 0;
+
+    /// Read/write heads (tracks per cylinder).
+    std::uint32_t heads = 8;
+
+    /// Seek-curve coefficients (milliseconds; distance in cylinders):
+    /// seek(n) = 0                      if n == 0
+    ///         = alpha + beta * sqrt(n) if 0 < n <= theta
+    ///         = gamma + delta * n      if n > theta
+    double seekAlphaMs = 0.9336;
+    double seekBetaMs = 0.0364;
+    double seekGammaMs = 1.5503;
+    double seekDeltaMs = 0.00054;
+    std::uint32_t seekThetaCyls = 1150;
+
+    /// Time to switch the active head within a cylinder.
+    Tick headSwitch = fromMillis(0.6);
+
+    /// Extra settle time applied to writes after a seek.
+    Tick writeSettle = fromMillis(0.2);
+
+    /// Media transfer rate in bytes per second (raw rate in Table 1).
+    double xferRateBytesPerSec = 54.0e6;
+
+    /// Controller cache memory in bytes.
+    std::uint64_t cacheBytes = 4 * kMiB;
+
+    /// Controller memory reserved for firmware/scratch, not caching.
+    /// 576 KiB calibrates the segment counts to Table 1 of the paper
+    /// (27, 13, and 6 segments at 128, 256, and 512 KB).
+    std::uint64_t cacheReservedBytes = 576 * kKiB;
+
+    /// Default segment size for the segment-based organization.
+    std::uint64_t segmentBytes = 128 * kKiB;
+
+    /// Fixed controller overhead charged to every request.
+    Tick requestOverhead = fromMicros(50);
+
+    /// Extra controller time for a FOR bitmap consultation.
+    Tick bitmapLookupOverhead = fromMicros(2);
+
+    /// Extra controller time for an HDC (pinned-store) consultation.
+    Tick hdcLookupOverhead = fromMicros(1);
+
+    /** Blocks on the disk. */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return capacityBytes / blockSize;
+    }
+
+    /** Sectors per 4 KB block. */
+    std::uint32_t
+    sectorsPerBlock() const
+    {
+        return blockSize / sectorSize;
+    }
+
+    /** Total sectors on the disk (rounded down to full blocks). */
+    std::uint64_t
+    totalSectors() const
+    {
+        return totalBlocks() * sectorsPerBlock();
+    }
+
+    /** One full revolution. */
+    Tick
+    revolutionTime() const
+    {
+        return fromSeconds(60.0 / static_cast<double>(rpm));
+    }
+
+    /** Cache memory available for caching (after the reservation). */
+    std::uint64_t
+    usableCacheBytes() const
+    {
+        return cacheBytes > cacheReservedBytes
+            ? cacheBytes - cacheReservedBytes
+            : 0;
+    }
+
+    /** Usable controller cache capacity in blocks. */
+    std::uint64_t
+    cacheBlocks() const
+    {
+        return usableCacheBytes() / blockSize;
+    }
+
+    /** Segment capacity in blocks. */
+    std::uint64_t
+    segmentBlocks() const
+    {
+        return segmentBytes / blockSize;
+    }
+
+    /** Number of segments the cache supports at the segment size. */
+    std::uint64_t
+    numSegments() const
+    {
+        return usableCacheBytes() / segmentBytes;
+    }
+
+    /**
+     * Size of the FOR layout bitmap for this disk, in bytes
+     * (one bit per block; 546 KB for the default drive).
+     */
+    std::uint64_t
+    bitmapBytes() const
+    {
+        return (totalBlocks() + 7) / 8;
+    }
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_DISK_DISK_PARAMS_HH

@@ -1,0 +1,40 @@
+#include "disk/geometry.hh"
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+DiskGeometry::DiskGeometry(const DiskParams& params)
+    : spt_(params.sectorsPerTrack),
+      heads_(params.heads),
+      spc_(params.sectorsPerTrack * params.heads),
+      sectorsPerBlock_(params.sectorsPerBlock()),
+      totalSectors_(params.totalSectors())
+{
+    if (spt_ == 0 || heads_ == 0)
+        fatal("DiskGeometry: sectorsPerTrack and heads must be > 0");
+    if (params.blockSize % params.sectorSize != 0)
+        fatal("DiskGeometry: block size must be a sector multiple");
+    cylinders_ =
+        static_cast<std::uint32_t>((totalSectors_ + spc_ - 1) / spc_);
+}
+
+Chs
+DiskGeometry::sectorToChs(SectorNum s) const
+{
+    Chs chs;
+    chs.cylinder = static_cast<std::uint32_t>(s / spc_);
+    const auto in_cyl = static_cast<std::uint32_t>(s % spc_);
+    chs.head = in_cyl / spt_;
+    chs.sector = in_cyl % spt_;
+    return chs;
+}
+
+SectorNum
+DiskGeometry::chsToSector(const Chs& chs) const
+{
+    return static_cast<SectorNum>(chs.cylinder) * spc_ +
+           static_cast<SectorNum>(chs.head) * spt_ + chs.sector;
+}
+
+} // namespace dtsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Logical-to-physical address translation for one disk.
+ *
+ * The mapping is the classic linear one: sectors fill a track, tracks
+ * fill a cylinder (one per head), cylinders fill the disk. Zoned
+ * recording and sparing are not modeled; the paper's drive model does
+ * not depend on them.
+ */
+
+#ifndef DTSIM_DISK_GEOMETRY_HH
+#define DTSIM_DISK_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "disk/disk_params.hh"
+
+namespace dtsim {
+
+/** Sector number local to one disk. */
+using SectorNum = std::uint64_t;
+
+/** 4 KB block number local to one disk. */
+using BlockNum = std::uint64_t;
+
+/** A physical disk position. */
+struct Chs
+{
+    std::uint32_t cylinder;
+    std::uint32_t head;
+    std::uint32_t sector;
+
+    bool
+    operator==(const Chs& o) const
+    {
+        return cylinder == o.cylinder && head == o.head &&
+               sector == o.sector;
+    }
+};
+
+/**
+ * Address translation and physical layout queries for one disk.
+ */
+class DiskGeometry
+{
+  public:
+    explicit DiskGeometry(const DiskParams& params);
+
+    /** Cylinders on the disk (derived from capacity). */
+    std::uint32_t cylinders() const { return cylinders_; }
+
+    std::uint32_t heads() const { return heads_; }
+    std::uint32_t sectorsPerTrack() const { return spt_; }
+    std::uint32_t sectorsPerCylinder() const { return spc_; }
+
+    /** Total addressable sectors (full blocks only). */
+    SectorNum totalSectors() const { return totalSectors_; }
+
+    /** Decompose a sector number into cylinder/head/sector. */
+    Chs sectorToChs(SectorNum s) const;
+
+    /** Compose a sector number from a physical position. */
+    SectorNum chsToSector(const Chs& chs) const;
+
+    /** Cylinder holding a sector. */
+    std::uint32_t
+    sectorToCylinder(SectorNum s) const
+    {
+        return static_cast<std::uint32_t>(s / spc_);
+    }
+
+    /** First sector of a block. */
+    SectorNum
+    blockToSector(BlockNum b) const
+    {
+        return b * sectorsPerBlock_;
+    }
+
+    /** Cylinder holding the first sector of a block. */
+    std::uint32_t
+    blockToCylinder(BlockNum b) const
+    {
+        return sectorToCylinder(blockToSector(b));
+    }
+
+    std::uint32_t sectorsPerBlock() const { return sectorsPerBlock_; }
+
+  private:
+    std::uint32_t spt_;
+    std::uint32_t heads_;
+    std::uint32_t spc_;
+    std::uint32_t sectorsPerBlock_;
+    std::uint32_t cylinders_;
+    SectorNum totalSectors_;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_DISK_GEOMETRY_HH

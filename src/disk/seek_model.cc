@@ -1,0 +1,40 @@
+#include "disk/seek_model.hh"
+
+#include <cmath>
+
+namespace dtsim {
+
+double
+SeekModel::seekTimeMs(std::uint32_t distance) const
+{
+    if (distance == 0)
+        return 0.0;
+    if (distance <= theta_)
+        return alphaMs_ + betaMs_ * std::sqrt(
+            static_cast<double>(distance));
+    return gammaMs_ + deltaMs_ * static_cast<double>(distance);
+}
+
+Tick
+SeekModel::seekTime(std::uint32_t distance) const
+{
+    return fromMillis(seekTimeMs(distance));
+}
+
+double
+SeekModel::averageSeekMs(std::uint32_t cylinders) const
+{
+    if (cylinders < 2)
+        return 0.0;
+    // Exact expectation of seek over the distance distribution of two
+    // independent uniform cylinders: P(d) = 2(C - d) / C^2 for d >= 1.
+    const double c = static_cast<double>(cylinders);
+    double acc = 0.0;
+    for (std::uint32_t d = 1; d < cylinders; ++d) {
+        const double p = 2.0 * (c - static_cast<double>(d)) / (c * c);
+        acc += p * seekTimeMs(d);
+    }
+    return acc;
+}
+
+} // namespace dtsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's three-piece seek-time model (Section 2.1):
+ *
+ *   seek(n) = 0                      if n == 0
+ *           = alpha + beta * sqrt(n) if 0 < n <= theta
+ *           = gamma + delta * n      if n > theta
+ *
+ * with n the cylinder distance. The default coefficients reproduce the
+ * IBM Ultrastar 36Z15 nominal values used in Section 6.1.
+ */
+
+#ifndef DTSIM_DISK_SEEK_MODEL_HH
+#define DTSIM_DISK_SEEK_MODEL_HH
+
+#include <cstdint>
+
+#include "disk/disk_params.hh"
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+/** Seek-time calculator for one drive. */
+class SeekModel
+{
+  public:
+    explicit SeekModel(const DiskParams& params)
+        : alphaMs_(params.seekAlphaMs), betaMs_(params.seekBetaMs),
+          gammaMs_(params.seekGammaMs), deltaMs_(params.seekDeltaMs),
+          theta_(params.seekThetaCyls)
+    {}
+
+    /** Seek time for a move of `distance` cylinders. */
+    Tick seekTime(std::uint32_t distance) const;
+
+    /** Seek time in milliseconds (for analytic use). */
+    double seekTimeMs(std::uint32_t distance) const;
+
+    /**
+     * Average seek time over all equally likely (from, to) cylinder
+     * pairs of a disk with `cylinders` cylinders; the mean distance of
+     * that distribution is cylinders/3.
+     */
+    double averageSeekMs(std::uint32_t cylinders) const;
+
+  private:
+    double alphaMs_;
+    double betaMs_;
+    double gammaMs_;
+    double deltaMs_;
+    std::uint32_t theta_;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_DISK_SEEK_MODEL_HH

@@ -1,0 +1,166 @@
+#include "disk/zones.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+ZonedGeometry::ZonedGeometry(const DiskParams& params,
+                             std::vector<Zone> zones)
+    : zones_(std::move(zones)), heads_(params.heads)
+{
+    if (zones_.empty())
+        fatal("ZonedGeometry: need at least one zone");
+    SectorNum sector = 0;
+    std::uint32_t cyl = 0;
+    for (Zone& z : zones_) {
+        if (z.firstCylinder != cyl)
+            fatal("ZonedGeometry: zones must tile the cylinder "
+                  "space (gap at cylinder %u)", cyl);
+        if (z.cylinders == 0 || z.sectorsPerTrack == 0)
+            fatal("ZonedGeometry: empty zone");
+        z.firstSector = sector;
+        sector += static_cast<SectorNum>(z.cylinders) * heads_ *
+                  z.sectorsPerTrack;
+        cyl += z.cylinders;
+    }
+    cylinders_ = cyl;
+    totalSectors_ = sector;
+}
+
+ZonedGeometry
+ZonedGeometry::makeDefault(const DiskParams& params,
+                           unsigned num_zones,
+                           std::uint32_t outer_spt,
+                           std::uint32_t inner_spt)
+{
+    if (num_zones == 0)
+        fatal("ZonedGeometry: need at least one zone");
+
+    // Average sectors/track over the graded zones.
+    double avg_spt = 0.0;
+    std::vector<std::uint32_t> spts(num_zones);
+    for (unsigned z = 0; z < num_zones; ++z) {
+        const double f = num_zones == 1
+            ? 0.0
+            : static_cast<double>(z) / (num_zones - 1);
+        spts[z] = static_cast<std::uint32_t>(
+            outer_spt - f * (outer_spt - inner_spt) + 0.5);
+        avg_spt += spts[z];
+    }
+    avg_spt /= num_zones;
+
+    // Total cylinders needed for the drive's capacity at the
+    // average density, split evenly across zones.
+    const double total_sectors =
+        static_cast<double>(params.totalSectors());
+    const auto cylinders = static_cast<std::uint32_t>(
+        total_sectors / (avg_spt * params.heads) + 1);
+    const std::uint32_t per_zone =
+        std::max<std::uint32_t>(1, cylinders / num_zones);
+
+    std::vector<Zone> zones;
+    std::uint32_t cyl = 0;
+    for (unsigned z = 0; z < num_zones; ++z) {
+        Zone zn;
+        zn.firstCylinder = cyl;
+        zn.cylinders = z + 1 == num_zones
+            ? cylinders - cyl
+            : per_zone;
+        zn.sectorsPerTrack = spts[z];
+        zones.push_back(zn);
+        cyl += zn.cylinders;
+    }
+    return ZonedGeometry(params, std::move(zones));
+}
+
+std::size_t
+ZonedGeometry::sectorToZone(SectorNum s) const
+{
+    if (s >= totalSectors_)
+        panic("ZonedGeometry: sector out of range");
+    // Binary search over zone start sectors.
+    std::size_t lo = 0;
+    std::size_t hi = zones_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (zones_[mid].firstSector <= s)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+std::size_t
+ZonedGeometry::cylinderToZone(std::uint32_t cylinder) const
+{
+    if (cylinder >= cylinders_)
+        panic("ZonedGeometry: cylinder out of range");
+    std::size_t lo = 0;
+    std::size_t hi = zones_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (zones_[mid].firstCylinder <= cylinder)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+Chs
+ZonedGeometry::sectorToChs(SectorNum s) const
+{
+    const Zone& z = zones_[sectorToZone(s)];
+    const SectorNum in_zone = s - z.firstSector;
+    const std::uint64_t spc =
+        static_cast<std::uint64_t>(z.sectorsPerTrack) * heads_;
+    Chs chs;
+    chs.cylinder =
+        z.firstCylinder + static_cast<std::uint32_t>(in_zone / spc);
+    const auto in_cyl = static_cast<std::uint32_t>(in_zone % spc);
+    chs.head = in_cyl / z.sectorsPerTrack;
+    chs.sector = in_cyl % z.sectorsPerTrack;
+    return chs;
+}
+
+SectorNum
+ZonedGeometry::chsToSector(const Chs& chs) const
+{
+    const Zone& z = zones_[cylinderToZone(chs.cylinder)];
+    const std::uint64_t spc =
+        static_cast<std::uint64_t>(z.sectorsPerTrack) * heads_;
+    return z.firstSector +
+           static_cast<SectorNum>(chs.cylinder - z.firstCylinder) *
+               spc +
+           static_cast<SectorNum>(chs.head) * z.sectorsPerTrack +
+           chs.sector;
+}
+
+Tick
+ZonedGeometry::transferTime(SectorNum start, std::uint64_t count,
+                            Tick rev_time) const
+{
+    double revs = 0.0;
+    SectorNum pos = start;
+    std::uint64_t left = count;
+    while (left > 0) {
+        const std::size_t zi = sectorToZone(pos);
+        const Zone& z = zones_[zi];
+        const SectorNum zone_end = zi + 1 < zones_.size()
+            ? zones_[zi + 1].firstSector
+            : totalSectors_;
+        const std::uint64_t in_zone =
+            std::min<std::uint64_t>(left, zone_end - pos);
+        revs += static_cast<double>(in_zone) /
+                static_cast<double>(z.sectorsPerTrack);
+        pos += in_zone;
+        left -= in_zone;
+    }
+    return static_cast<Tick>(revs * static_cast<double>(rev_time) +
+                             0.5);
+}
+
+} // namespace dtsim

@@ -1,0 +1,109 @@
+#include "fs/buffer_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+BufferCache::BufferCache(std::uint64_t capacity_blocks)
+    : capacity_(capacity_blocks)
+{
+    if (capacity_blocks == 0)
+        fatal("BufferCache: capacity must be > 0");
+}
+
+void
+BufferCache::touch(List::iterator it)
+{
+    lru_.splice(lru_.begin(), lru_, it);
+}
+
+bool
+BufferCache::readHit(ArrayBlock block)
+{
+    ++stats_.readLookups;
+    auto it = map_.find(block);
+    if (it == map_.end()) {
+        ++stats_.readMisses;
+        return false;
+    }
+    touch(it->second);
+    return true;
+}
+
+void
+BufferCache::evictOne(std::vector<ArrayBlock>& writebacks)
+{
+    const Node victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim.block);
+    ++stats_.evictions;
+    if (victim.dirty) {
+        writebacks.push_back(victim.block);
+        ++stats_.dirtyWritebacks;
+    }
+}
+
+void
+BufferCache::install(ArrayBlock block,
+                     std::vector<ArrayBlock>& writebacks)
+{
+    auto it = map_.find(block);
+    if (it != map_.end()) {
+        touch(it->second);
+        return;
+    }
+    if (map_.size() >= capacity_)
+        evictOne(writebacks);
+    lru_.push_front(Node{block, false});
+    map_.emplace(block, lru_.begin());
+}
+
+bool
+BufferCache::write(ArrayBlock block,
+                   std::vector<ArrayBlock>& writebacks)
+{
+    ++stats_.writeLookups;
+    auto it = map_.find(block);
+    if (it != map_.end()) {
+        if (it->second->dirty)
+            ++stats_.writeMerges;
+        it->second->dirty = true;
+        touch(it->second);
+        return true;
+    }
+    if (map_.size() >= capacity_)
+        evictOne(writebacks);
+    lru_.push_front(Node{block, true});
+    map_.emplace(block, lru_.begin());
+    return false;
+}
+
+std::vector<ArrayBlock>
+BufferCache::sync()
+{
+    std::vector<ArrayBlock> dirty;
+    for (Node& n : lru_) {
+        if (n.dirty) {
+            dirty.push_back(n.block);
+            n.dirty = false;
+        }
+    }
+    return dirty;
+}
+
+std::vector<ArrayBlock>
+BufferCache::dropAll()
+{
+    std::vector<ArrayBlock> dirty = sync();
+    lru_.clear();
+    map_.clear();
+    return dirty;
+}
+
+bool
+BufferCache::contains(ArrayBlock block) const
+{
+    return map_.count(block) != 0;
+}
+
+} // namespace dtsim

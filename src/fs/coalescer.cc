@@ -1,0 +1,24 @@
+#include "fs/coalescer.hh"
+
+namespace dtsim {
+
+std::vector<std::uint64_t>
+coalesceRun(std::uint64_t count, double coalesce_prob, Rng& rng)
+{
+    std::vector<std::uint64_t> sizes;
+    if (count == 0)
+        return sizes;
+    std::uint64_t cur = 1;
+    for (std::uint64_t b = 1; b < count; ++b) {
+        if (rng.chance(coalesce_prob)) {
+            ++cur;
+        } else {
+            sizes.push_back(cur);
+            cur = 1;
+        }
+    }
+    sizes.push_back(cur);
+    return sizes;
+}
+
+} // namespace dtsim

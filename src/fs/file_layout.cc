@@ -1,0 +1,120 @@
+#include "fs/file_layout.hh"
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+std::uint64_t
+FileLayout::blocks() const
+{
+    std::uint64_t n = 0;
+    for (const FileExtent& e : extents)
+        n += e.count;
+    return n;
+}
+
+ArrayBlock
+FileLayout::blockAt(std::uint64_t idx) const
+{
+    for (const FileExtent& e : extents) {
+        if (idx < e.count)
+            return e.start + idx;
+        idx -= e.count;
+    }
+    panic("FileLayout: block index out of range");
+}
+
+FileSystemImage::FileSystemImage(
+    const std::vector<std::uint64_t>& file_sizes_bytes,
+    const LayoutParams& params, std::uint64_t total_blocks)
+    : params_(params)
+{
+    Rng rng(params.seed);
+    files_.reserve(file_sizes_bytes.size());
+
+    for (std::uint64_t size : file_sizes_bytes) {
+        FileLayout f;
+        f.sizeBytes = size;
+        const std::uint64_t nblocks = size == 0
+            ? 1
+            : (size + params.blockSize - 1) / params.blockSize;
+
+        FileExtent cur{nextFree_, 0};
+        for (std::uint64_t i = 0; i < nblocks; ++i) {
+            if (i > 0 && rng.chance(params.fragmentation)) {
+                // Break contiguity: leave a hole and start a new
+                // extent.
+                f.extents.push_back(cur);
+                nextFree_ += params.gapBlocks;
+                cur = FileExtent{nextFree_, 0};
+            }
+            ++cur.count;
+            ++nextFree_;
+        }
+        f.extents.push_back(cur);
+        dataBlocks_ += nblocks;
+        files_.push_back(std::move(f));
+    }
+
+    if (nextFree_ > total_blocks)
+        fatal("FileSystemImage: files (%llu blocks) exceed capacity "
+              "(%llu blocks)",
+              static_cast<unsigned long long>(nextFree_),
+              static_cast<unsigned long long>(total_blocks));
+}
+
+std::vector<LayoutBitmap>
+FileSystemImage::buildBitmaps(const StripingMap& striping) const
+{
+    const std::uint64_t per_disk =
+        striping.totalBlocks() / striping.disks();
+    std::vector<LayoutBitmap> maps;
+    maps.reserve(striping.disks());
+    for (unsigned d = 0; d < striping.disks(); ++d)
+        maps.emplace_back(per_disk);
+
+    for (const FileLayout& f : files_) {
+        const std::uint64_t n = f.blocks();
+        PhysicalLoc prev{};
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const PhysicalLoc loc =
+                striping.toPhysical(f.blockAt(i));
+            if (i > 0 && loc.disk == prev.disk &&
+                loc.block == prev.block + 1) {
+                maps[loc.disk].set(loc.block, true);
+            }
+            prev = loc;
+        }
+    }
+    return maps;
+}
+
+double
+FileSystemImage::averageSequentialRun(
+    const StripingMap& striping) const
+{
+    std::uint64_t blocks = 0;
+    std::uint64_t runs = 0;
+    for (const FileLayout& f : files_) {
+        const std::uint64_t n = f.blocks();
+        if (n == 0)
+            continue;
+        blocks += n;
+        ++runs;     // A file always starts a run.
+        PhysicalLoc prev = striping.toPhysical(f.blockAt(0));
+        for (std::uint64_t i = 1; i < n; ++i) {
+            const PhysicalLoc loc =
+                striping.toPhysical(f.blockAt(i));
+            if (!(loc.disk == prev.disk &&
+                  loc.block == prev.block + 1)) {
+                ++runs;
+            }
+            prev = loc;
+        }
+    }
+    return runs == 0
+        ? 0.0
+        : static_cast<double>(blocks) / static_cast<double>(runs);
+}
+
+} // namespace dtsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The host file system's on-disk layout model.
+ *
+ * Files are allocated in the array's logical block space by a
+ * sequential extent allocator with a tunable fragmentation degree: at
+ * each intra-file block boundary the next block is displaced with the
+ * given probability, breaking physical contiguity (Section 4,
+ * Figure 1). The image also produces the per-disk FOR layout bitmaps,
+ * which is exactly the file-system information the paper's controller
+ * consumes.
+ */
+
+#ifndef DTSIM_FS_FILE_LAYOUT_HH
+#define DTSIM_FS_FILE_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "array/striping.hh"
+#include "controller/layout_bitmap.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+
+/** Index of a file in the image. */
+using FileId = std::uint32_t;
+
+/** One physically contiguous piece of a file (logical blocks). */
+struct FileExtent
+{
+    ArrayBlock start;
+    std::uint64_t count;
+};
+
+/** A file's size and placement. */
+struct FileLayout
+{
+    std::uint64_t sizeBytes = 0;
+    std::vector<FileExtent> extents;
+
+    /** File length in blocks. */
+    std::uint64_t blocks() const;
+
+    /** Logical array block holding file block `idx`. */
+    ArrayBlock blockAt(std::uint64_t idx) const;
+};
+
+/** Parameters of an image build. */
+struct LayoutParams
+{
+    std::uint32_t blockSize = 4096;
+
+    /**
+     * Probability that an intra-file block boundary breaks physical
+     * contiguity (0 = perfectly sequential layout).
+     */
+    double fragmentation = 0.0;
+
+    /** Blocks skipped at each break (holes stay unused). */
+    std::uint64_t gapBlocks = 1;
+
+    std::uint64_t seed = 42;
+};
+
+/**
+ * The set of files laid out on the array.
+ */
+class FileSystemImage
+{
+  public:
+    /**
+     * Allocate the given files.
+     *
+     * @param file_sizes_bytes Size of each file (rounded up to
+     *        blocks; zero-byte files occupy one block).
+     * @param params Allocator knobs.
+     * @param total_blocks Logical capacity; allocation past it fails.
+     */
+    FileSystemImage(const std::vector<std::uint64_t>& file_sizes_bytes,
+                    const LayoutParams& params,
+                    std::uint64_t total_blocks);
+
+    std::size_t fileCount() const { return files_.size(); }
+    const FileLayout& file(FileId f) const { return files_.at(f); }
+    std::uint32_t blockSize() const { return params_.blockSize; }
+
+    /** Blocks consumed including fragmentation holes. */
+    std::uint64_t allocatedBlocks() const { return nextFree_; }
+
+    /** Blocks actually holding file data. */
+    std::uint64_t dataBlocks() const { return dataBlocks_; }
+
+    /**
+     * Build the per-disk FOR bitmaps for a striping layout: bit b of
+     * disk d is 1 iff local block b on d holds the file block that
+     * logically continues the file block held by local block b-1.
+     */
+    std::vector<LayoutBitmap>
+    buildBitmaps(const StripingMap& striping) const;
+
+    /**
+     * Mean physical run length (in blocks) across all files under the
+     * given striping: the "average sequential read" of Figure 1. A run
+     * is a maximal sequence of file blocks that are physically
+     * consecutive on one disk.
+     */
+    double averageSequentialRun(const StripingMap& striping) const;
+
+  private:
+    LayoutParams params_;
+    std::vector<FileLayout> files_;
+    std::uint64_t nextFree_ = 0;
+    std::uint64_t dataBlocks_ = 0;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_FS_FILE_LAYOUT_HH

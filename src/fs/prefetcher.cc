@@ -1,0 +1,46 @@
+#include "fs/prefetcher.hh"
+
+#include <algorithm>
+
+namespace dtsim {
+
+Prefetcher::Prefetcher(PrefetchMode mode, std::uint32_t max_blocks)
+    : mode_(mode), maxBlocks_(max_blocks)
+{
+}
+
+std::uint64_t
+Prefetcher::plan(std::uint32_t file, std::uint64_t start,
+                 std::uint64_t count, std::uint64_t file_blocks)
+{
+    const std::uint64_t end = start + count;
+    const std::uint64_t left = end < file_blocks ? file_blocks - end : 0;
+
+    switch (mode_) {
+      case PrefetchMode::None:
+        return 0;
+      case PrefetchMode::Perfect:
+        return left;
+      case PrefetchMode::Sequential:
+        break;
+    }
+
+    FileState& st = state_[file];
+    if (start == 0 || start == st.nextExpected) {
+        // Sequential: grow the window (doubling from one block).
+        st.window = st.window == 0
+            ? 1
+            : std::min<std::uint32_t>(maxBlocks_, st.window * 2);
+    } else {
+        // Random access: collapse.
+        st.window = 0;
+    }
+    const std::uint64_t pf =
+        std::min<std::uint64_t>(st.window, left);
+    // The prefetched blocks are consumed before the next read
+    // reaches the disk, so the sequential pattern continues there.
+    st.nextExpected = end + pf;
+    return pf;
+}
+
+} // namespace dtsim

@@ -1,0 +1,74 @@
+#include "hdc/hdc_planner.hh"
+
+#include <algorithm>
+
+namespace dtsim {
+
+void
+MissCounter::addTrace(const Trace& trace)
+{
+    for (const TraceRecord& r : trace)
+        for (std::uint32_t i = 0; i < r.count; ++i)
+            add(r.start + i);
+}
+
+void
+MissCounter::add(ArrayBlock block, std::uint64_t count)
+{
+    counts_[block] += count;
+}
+
+std::uint64_t
+MissCounter::count(ArrayBlock block) const
+{
+    auto it = counts_.find(block);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<ArrayBlock, std::uint64_t>>
+MissCounter::sorted() const
+{
+    std::vector<std::pair<ArrayBlock, std::uint64_t>> v(
+        counts_.begin(), counts_.end());
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+    return v;
+}
+
+std::vector<ArrayBlock>
+MissCounter::topBlocks(std::size_t k) const
+{
+    auto v = sorted();
+    if (v.size() > k)
+        v.resize(k);
+    std::vector<ArrayBlock> out;
+    out.reserve(v.size());
+    for (const auto& [block, n] : v)
+        out.push_back(block);
+    return out;
+}
+
+std::vector<ArrayBlock>
+selectPinnedBlocks(const Trace& trace, const StripingMap& striping,
+                   std::uint64_t per_disk_budget_blocks)
+{
+    MissCounter counter;
+    counter.addTrace(trace);
+
+    std::vector<std::uint64_t> budget(striping.disks(),
+                                      per_disk_budget_blocks);
+    std::vector<ArrayBlock> pinned;
+    for (const auto& [block, n] : counter.sorted()) {
+        const PhysicalLoc loc = striping.toPhysical(block);
+        if (budget[loc.disk] == 0)
+            continue;
+        --budget[loc.disk];
+        pinned.push_back(block);
+    }
+    return pinned;
+}
+
+} // namespace dtsim

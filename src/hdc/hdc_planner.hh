@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Host-side HDC policy (Section 5).
+ *
+ * The host divides the server's execution into periods and pins, for
+ * each disk, the blocks of that disk that caused the most buffer
+ * cache misses in the previous period(s). The paper's evaluation
+ * assumes perfect knowledge of the future: the pin set is computed
+ * from the same trace that is replayed. Both modes are provided here:
+ * plan from a history trace, or from the trace to be replayed.
+ */
+
+#ifndef DTSIM_HDC_HDC_PLANNER_HH
+#define DTSIM_HDC_HDC_PLANNER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "array/striping.hh"
+#include "workload/trace.hh"
+
+namespace dtsim {
+
+/** Per-block miss counting over a disk trace. */
+class MissCounter
+{
+  public:
+    /** Accumulate one trace (every record is a host-cache miss). */
+    void addTrace(const Trace& trace);
+
+    /** Accumulate one access. */
+    void add(ArrayBlock block, std::uint64_t count = 1);
+
+    /** Access count of one block. */
+    std::uint64_t count(ArrayBlock block) const;
+
+    /** Distinct blocks seen. */
+    std::size_t distinctBlocks() const { return counts_.size(); }
+
+    /**
+     * The blocks causing the most misses, most-missed first. Ties
+     * break toward lower block numbers for determinism.
+     */
+    std::vector<ArrayBlock> topBlocks(std::size_t k) const;
+
+    /** All (block, count) pairs, most-missed first. */
+    std::vector<std::pair<ArrayBlock, std::uint64_t>> sorted() const;
+
+  private:
+    std::unordered_map<ArrayBlock, std::uint64_t> counts_;
+};
+
+/**
+ * Select the pin set for an array: for each disk, the blocks stored
+ * on that disk with the highest miss counts, up to the per-disk
+ * budget.
+ *
+ * @param trace History (or oracle) trace.
+ * @param striping The array's striping map.
+ * @param per_disk_budget_blocks HDC capacity of each controller.
+ * @return Logical block numbers to pin (pass to
+ *         DiskArray::pinLogicalBlock).
+ */
+std::vector<ArrayBlock>
+selectPinnedBlocks(const Trace& trace, const StripingMap& striping,
+                   std::uint64_t per_disk_budget_blocks);
+
+} // namespace dtsim
+
+#endif // DTSIM_HDC_HDC_PLANNER_HH

@@ -1,0 +1,77 @@
+#include "hdc/victim_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+VictimHdcManager::VictimHdcManager(DiskArray& array,
+                                   std::uint64_t ghost_blocks)
+    : array_(array), ghostCapacity_(ghost_blocks)
+{
+    if (ghost_blocks == 0)
+        fatal("VictimHdcManager: ghost cache must be > 0 blocks");
+}
+
+void
+VictimHdcManager::pinVictim(ArrayBlock block)
+{
+    if (pinnedSet_.count(block))
+        return;
+    // Make room: retire the oldest victims until a pin succeeds.
+    while (!array_.pinLogicalBlock(block)) {
+        // Skip stale FIFO entries (already unpinned on re-access).
+        while (!pinFifo_.empty() &&
+               !pinnedSet_.count(pinFifo_.front()))
+            pinFifo_.pop_front();
+        if (pinFifo_.empty())
+            return;   // No capacity at all (budget zero).
+        const ArrayBlock old = pinFifo_.front();
+        pinFifo_.pop_front();
+        pinnedSet_.erase(old);
+        --fifoSize_;
+        array_.unpinLogicalBlock(old);
+        ++unpins_;
+    }
+    pinFifo_.push_back(block);
+    pinnedSet_.insert(block);
+    ++fifoSize_;
+    ++pins_;
+}
+
+void
+VictimHdcManager::ghostInsert(ArrayBlock block)
+{
+    auto it = ghostMap_.find(block);
+    if (it != ghostMap_.end()) {
+        ghostLru_.splice(ghostLru_.begin(), ghostLru_, it->second);
+        return;
+    }
+    if (ghostMap_.size() >= ghostCapacity_) {
+        const ArrayBlock victim = ghostLru_.back();
+        ghostLru_.pop_back();
+        ghostMap_.erase(victim);
+        pinVictim(victim);
+    }
+    ghostLru_.push_front(block);
+    ghostMap_.emplace(block, ghostLru_.begin());
+}
+
+void
+VictimHdcManager::onAccess(ArrayBlock start, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const ArrayBlock b = start + i;
+        // A re-read victim moves back into the host cache; release
+        // the controller copy (lazy removal from the FIFO).
+        auto pin_it = pinnedSet_.find(b);
+        if (pin_it != pinnedSet_.end()) {
+            pinnedSet_.erase(pin_it);
+            --fifoSize_;
+            array_.unpinLogicalBlock(b);
+            ++unpins_;
+        }
+        ghostInsert(b);
+    }
+}
+
+} // namespace dtsim

@@ -1,0 +1,96 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dtsim {
+
+EventQueue::EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < now_)
+        throw std::logic_error("EventQueue: scheduling in the past");
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    pending_.insert(id);
+    ++size_;
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return false;
+    pending_.erase(it);
+    cancelled_.insert(id);
+    --size_;
+    return true;
+}
+
+bool
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+        cancelled_.erase(heap_.top().id);
+        heap_.pop();
+    }
+    return !heap_.empty();
+}
+
+bool
+EventQueue::step()
+{
+    if (!skipCancelled())
+        return false;
+    fireNext();
+    return true;
+}
+
+void
+EventQueue::fireNext()
+{
+    // const_cast is safe: the entry is popped immediately and the heap
+    // ordering does not depend on the callback.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    assert(top.when >= now_);
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    pending_.erase(top.id);
+    heap_.pop();
+    --size_;
+    ++fired_;
+    cb();
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && step())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (skipCancelled() && heap_.top().when <= until) {
+        fireNext();
+        ++n;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+} // namespace dtsim

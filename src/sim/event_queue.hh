@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * DTSim is an event-driven simulator in the style of the MINT-based
+ * simulator used by the paper: every modeled component schedules
+ * callbacks on a single global-order event queue. Events at the same
+ * tick fire in scheduling order, which keeps runs deterministic.
+ */
+
+#ifndef DTSIM_SIM_EVENT_QUEUE_HH
+#define DTSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+/**
+ * A single-threaded discrete-event queue.
+ *
+ * Components schedule std::function callbacks at absolute or relative
+ * ticks; run() pops events in (tick, insertion-order) order until the
+ * queue drains or a limit is reached.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Opaque handle identifying a scheduled event (for cancellation). */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute fire time; must be >= now().
+     * @param cb Callback to invoke.
+     * @return Handle usable with cancel().
+     */
+    EventId scheduleAt(Tick when, Callback cb);
+
+    /** Schedule a callback `delay` ticks from now. */
+    EventId scheduleAfter(Tick delay, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled;
+     *         false if it already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return size_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Run until the queue drains or `max_events` fire.
+     *
+     * @return Number of events fired.
+     */
+    std::uint64_t run(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /**
+     * Run until simulated time would exceed `until` (events at exactly
+     * `until` still fire). Time advances to `until` if the queue drains
+     * earlier.
+     *
+     * @return Number of events fired.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Fire exactly one event, if any. @return true if one fired. */
+    bool step();
+
+    /** Total events fired over the queue's lifetime. */
+    std::uint64_t fired() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /**
+     * Drop cancelled entries off the heap front.
+     * @return true if a live event remains at the front.
+     */
+    bool skipCancelled();
+
+    /** Pop and fire the front event. Requires a live front event. */
+    void fireNext();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> pending_;
+    std::unordered_set<EventId> cancelled_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t size_ = 0;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,93 @@
+#include "sim/logging.hh"
+
+#include <vector>
+
+namespace dtsim {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+std::string
+vstrfmt(const char* fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+std::string
+strfmt(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    std::exit(1);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    std::abort();
+}
+
+void
+warn(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
+void
+inform(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Inform)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", s.c_str());
+}
+
+} // namespace dtsim

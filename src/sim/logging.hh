@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal status/error reporting in the gem5 style.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for
+ * internal invariant violations. warn()/inform() report conditions
+ * without stopping the simulation.
+ */
+
+#ifndef DTSIM_SIM_LOGGING_HH
+#define DTSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dtsim {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Get/set the global log level (default Warn). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error and exit(1). Use for invalid
+ * configurations and arguments, not for simulator bugs.
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort(). Use only for
+ * conditions that indicate a bug in DTSim itself.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dtsim
+
+#endif // DTSIM_SIM_LOGGING_HH

@@ -1,0 +1,24 @@
+#include "sim/ticks.hh"
+
+#include <cstdio>
+
+namespace dtsim {
+
+std::string
+formatTicks(Tick t)
+{
+    char buf[64];
+    if (t >= kSec) {
+        std::snprintf(buf, sizeof(buf), "%.3f s", toSeconds(t));
+    } else if (t >= kMsec) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms", toMillis(t));
+    } else if (t >= kUsec) {
+        std::snprintf(buf, sizeof(buf), "%.3f us", toMicros(t));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu ns",
+                      static_cast<unsigned long long>(t));
+    }
+    return buf;
+}
+
+} // namespace dtsim

@@ -1,0 +1,160 @@
+#include "stats/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+namespace stats {
+
+StatBase::StatBase(StatGroup& parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    parent.addStat(this);
+}
+
+void
+Scalar::print(std::ostream& os, const std::string& prefix) const
+{
+    os << prefix << name() << " " << value_
+       << " # " << desc() << "\n";
+}
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    const double delta = v - meanAcc_;
+    meanAcc_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - meanAcc_);
+}
+
+double
+Distribution::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    meanAcc_ = 0.0;
+    m2_ = 0.0;
+}
+
+void
+Distribution::print(std::ostream& os, const std::string& prefix) const
+{
+    os << prefix << name() << ".count " << count_
+       << " # " << desc() << "\n";
+    os << prefix << name() << ".mean " << mean() << "\n";
+    os << prefix << name() << ".min " << minValue() << "\n";
+    os << prefix << name() << ".max " << maxValue() << "\n";
+    os << prefix << name() << ".stddev " << stddev() << "\n";
+}
+
+Histogram::Histogram(StatGroup& parent, std::string name,
+                     std::string desc, double lo, double hi,
+                     std::size_t buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    if (!(lo < hi) || buckets == 0)
+        fatal("Histogram %s: invalid range or bucket count",
+              this->name().c_str());
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    count_ += weight;
+    if (v < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (v >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    const double frac = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(buckets_.size()));
+    idx = std::min(idx, buckets_.size() - 1);
+    buckets_[idx] += weight;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+}
+
+void
+Histogram::print(std::ostream& os, const std::string& prefix) const
+{
+    os << prefix << name() << ".count " << count_
+       << " # " << desc() << "\n";
+    const double width =
+        (hi_ - lo_) / static_cast<double>(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << prefix << name() << ".bucket["
+           << lo_ + width * static_cast<double>(i) << ","
+           << lo_ + width * static_cast<double>(i + 1) << ") "
+           << buckets_[i] << "\n";
+    }
+    if (underflow_)
+        os << prefix << name() << ".underflow " << underflow_ << "\n";
+    if (overflow_)
+        os << prefix << name() << ".overflow " << overflow_ << "\n";
+}
+
+StatGroup::StatGroup(std::string name)
+    : name_(std::move(name))
+{
+}
+
+StatGroup::StatGroup(StatGroup& parent, std::string name)
+    : name_(std::move(name))
+{
+    parent.addChild(this);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase* s : stats_)
+        s->reset();
+    for (StatGroup* g : children_)
+        g->resetAll();
+}
+
+void
+StatGroup::print(std::ostream& os, const std::string& prefix) const
+{
+    const std::string p =
+        prefix.empty() ? name_ + "." : prefix + name_ + ".";
+    for (const StatBase* s : stats_)
+        s->print(os, p);
+    for (const StatGroup* g : children_)
+        g->print(os, p);
+}
+
+} // namespace stats
+} // namespace dtsim

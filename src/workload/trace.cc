@@ -1,0 +1,103 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+TraceStats
+computeStats(const Trace& trace)
+{
+    TraceStats s;
+    s.records = trace.size();
+    std::unordered_map<ArrayBlock, std::uint64_t> counts;
+    std::unordered_set<std::uint32_t> jobs;
+    for (const TraceRecord& r : trace) {
+        s.blocks += r.count;
+        if (r.isWrite) {
+            ++s.writeRecords;
+            s.writeBlocks += r.count;
+        }
+        jobs.insert(r.job);
+        for (std::uint32_t i = 0; i < r.count; ++i)
+            ++counts[r.start + i];
+    }
+    s.jobs = jobs.size();
+    s.distinctBlocks = counts.size();
+    for (const auto& [block, n] : counts)
+        s.maxBlockAccesses = std::max(s.maxBlockAccesses, n);
+    if (s.records > 0) {
+        s.writeRecordFraction =
+            static_cast<double>(s.writeRecords) /
+            static_cast<double>(s.records);
+        s.meanRecordBlocks =
+            static_cast<double>(s.blocks) /
+            static_cast<double>(s.records);
+    }
+    return s;
+}
+
+std::vector<std::uint64_t>
+accessCountsSorted(const Trace& trace, std::size_t top)
+{
+    std::unordered_map<ArrayBlock, std::uint64_t> counts;
+    for (const TraceRecord& r : trace)
+        for (std::uint32_t i = 0; i < r.count; ++i)
+            ++counts[r.start + i];
+
+    std::vector<std::uint64_t> out;
+    out.reserve(counts.size());
+    for (const auto& [block, n] : counts)
+        out.push_back(n);
+    std::sort(out.begin(), out.end(), std::greater<>());
+    if (top != 0 && out.size() > top)
+        out.resize(top);
+    return out;
+}
+
+void
+saveTrace(const Trace& trace, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("saveTrace: cannot open %s", path.c_str());
+    std::fprintf(f, "# dtsim-trace v1: start count write job\n");
+    for (const TraceRecord& r : trace) {
+        std::fprintf(f, "%" PRIu64 " %u %u %u\n", r.start, r.count,
+                     r.isWrite ? 1u : 0u, r.job);
+    }
+    std::fclose(f);
+}
+
+Trace
+loadTrace(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f)
+        throw std::runtime_error("loadTrace: cannot open " + path);
+    Trace trace;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        TraceRecord r;
+        unsigned w = 0;
+        if (std::sscanf(line, "%" SCNu64 " %u %u %u", &r.start,
+                        &r.count, &w, &r.job) != 4) {
+            std::fclose(f);
+            throw std::runtime_error("loadTrace: bad line in " + path);
+        }
+        r.isWrite = w != 0;
+        trace.push_back(r);
+    }
+    std::fclose(f);
+    return trace;
+}
+
+} // namespace dtsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Disk-access traces: the records the host replays against the array.
+ *
+ * A trace is the stream of block requests that missed in the host's
+ * application/buffer caches, in issue order. Records carry a job id:
+ * records of one job (e.g. one file access) are issued sequentially by
+ * one server thread, while different jobs run concurrently across
+ * threads.
+ */
+
+#ifndef DTSIM_WORKLOAD_TRACE_HH
+#define DTSIM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/striping.hh"
+
+namespace dtsim {
+
+/** One disk access (post host-cache). */
+struct TraceRecord
+{
+    ArrayBlock start = 0;
+    std::uint32_t count = 1;
+    bool isWrite = false;
+
+    /** Job (file-access) this record belongs to. */
+    std::uint32_t job = 0;
+};
+
+/** A whole workload's disk accesses. */
+using Trace = std::vector<TraceRecord>;
+
+/** Summary statistics of a trace. */
+struct TraceStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t writeRecords = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t writeBlocks = 0;
+    std::uint64_t jobs = 0;
+    std::uint64_t distinctBlocks = 0;
+    std::uint64_t maxBlockAccesses = 0;
+    double writeRecordFraction = 0.0;
+    double meanRecordBlocks = 0.0;
+};
+
+/** Compute summary statistics. */
+TraceStats computeStats(const Trace& trace);
+
+/**
+ * Per-block access counts, sorted descending: the series plotted in
+ * Figure 2. Only the `top` most-accessed blocks are returned (0 = all).
+ */
+std::vector<std::uint64_t> accessCountsSorted(const Trace& trace,
+                                              std::size_t top = 0);
+
+/** Save a trace as a text file (one record per line). */
+void saveTrace(const Trace& trace, const std::string& path);
+
+/** Load a trace saved by saveTrace(). Throws on parse errors. */
+Trace loadTrace(const std::string& path);
+
+} // namespace dtsim
+
+#endif // DTSIM_WORKLOAD_TRACE_HH

@@ -1,0 +1,133 @@
+/** @file Tests for the paper's closed-form models. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/models.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+namespace analytic {
+namespace {
+
+TEST(Analytic, AverageSeekMatchesDrive)
+{
+    DiskParams p;
+    EXPECT_NEAR(averageSeekMs(p), 3.4, 0.3);
+}
+
+TEST(Analytic, AverageRotationIsHalfRevolution)
+{
+    DiskParams p;
+    EXPECT_DOUBLE_EQ(averageRotationMs(p), 2.0);
+}
+
+TEST(Analytic, RequestTimeGrowsLinearlyInBlocks)
+{
+    DiskParams p;
+    const double t1 = requestTimeMs(p, 1);
+    const double t33 = requestTimeMs(p, 33);
+    // Adding 32 blocks (128 KB) at 54 MB/s adds ~2.43 ms.
+    EXPECT_NEAR(t33 - t1, 32 * 4096.0 / 54.0e6 * 1e3, 1e-9);
+}
+
+TEST(Analytic, UtilizationReductionMatchesPaperExample)
+{
+    // Section 4: 4 KB files vs 128 KB blind read-ahead reduces disk
+    // utilization by 29% on the modeled drive.
+    DiskParams p;
+    const double red = utilizationReduction(p, 4 * kKiB, 128 * kKiB);
+    EXPECT_NEAR(red, 0.29, 0.03);
+}
+
+TEST(Analytic, GammaFactorMatchesUniformModel)
+{
+    EXPECT_DOUBLE_EQ(gammaFactor(1), 1.0);
+    EXPECT_DOUBLE_EQ(gammaFactor(3), 1.5);
+    EXPECT_NEAR(gammaFactor(8), 16.0 / 9.0, 1e-12);
+}
+
+TEST(Analytic, StripedResponseTradeoff)
+{
+    // Splitting a large request reduces per-disk transfer but adds
+    // the gamma(D) factor; for a 128-block request over 8 disks the
+    // response should still beat one disk doing all of it.
+    DiskParams p;
+    EXPECT_LT(stripedResponseMs(p, 512, 8), requestTimeMs(p, 512));
+}
+
+TEST(Analytic, ConventionalHitRateRegimes)
+{
+    // f = 4-block files, c = 864-block cache, s = 27 segments,
+    // p = 1 block/request.
+    // Few streams: min(f, c/s) = 4 -> 3/4.
+    EXPECT_DOUBLE_EQ(conventionalHitRate(4, 864, 27, 1, 10), 0.75);
+    // Many streams: (p-1)/p = 0.
+    EXPECT_DOUBLE_EQ(conventionalHitRate(4, 864, 27, 1, 100), 0.0);
+    // Large files clip at the segment size c/s = 32.
+    EXPECT_DOUBLE_EQ(conventionalHitRate(64, 864, 27, 1, 10),
+                     31.0 / 32.0);
+}
+
+TEST(Analytic, ForHitRateRegimes)
+{
+    // FOR holds whole small files: hit rate (f-1)/f while streams
+    // fit in the pool (t <= c/f).
+    EXPECT_DOUBLE_EQ(forHitRate(4, 864, 1, 100), 0.75);
+    EXPECT_DOUBLE_EQ(forHitRate(4, 864, 1, 300), 0.0);
+}
+
+TEST(Analytic, ForBeatsConventionalForSmallFilesManyStreams)
+{
+    // Section 4's claim: for files < 128 KB and t > 27 (per disk),
+    // FOR's hit rate exceeds the conventional one.
+    const double c = 864;   // blocks
+    const double s = 27;
+    for (double f : {2.0, 4.0, 8.0, 16.0}) {
+        for (double t : {28.0, 64.0, 128.0}) {
+            if (t <= c / f) {
+                EXPECT_GT(forHitRate(f, c, 1, t),
+                          conventionalHitRate(f, c, s, 1, t))
+                    << "f=" << f << " t=" << t;
+            }
+        }
+    }
+}
+
+TEST(Analytic, ZipfTopMassBasics)
+{
+    EXPECT_DOUBLE_EQ(zipfTopMass(0, 100, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(zipfTopMass(100, 100, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(zipfTopMass(200, 100, 0.5), 1.0);
+    // Uniform: top-k mass is k/n.
+    EXPECT_NEAR(zipfTopMass(25, 100, 0.0), 0.25, 1e-12);
+}
+
+TEST(Analytic, ZipfTopMassMatchesSampler)
+{
+    ZipfSampler z(1000, 0.43);
+    EXPECT_NEAR(zipfTopMass(100, 1000, 0.43), z.topMass(100), 1e-9);
+}
+
+TEST(Analytic, HdcMemoryTradeoff)
+{
+    // Section 5: Hmax = D*c - Rmin; FOR's Rmin = t*f is smaller than
+    // blind's t*(c/s) for small files, leaving more room for HDC.
+    const double c = 864, s = 27, t = 128, f = 4;
+    EXPECT_LT(rminFor(t, f), rminBlind(t, c, s));
+    EXPECT_GT(hdcMaxBlocks(8, c, rminFor(t, f)),
+              hdcMaxBlocks(8, c, rminBlind(t, c, s)));
+}
+
+TEST(Analytic, AverageSequentialRunShape)
+{
+    // Figure 1's quoted numbers: 32-block files at 5% fragmentation
+    // drop to ~12.5 sequential blocks; 8-block files to ~5.9.
+    EXPECT_NEAR(averageSequentialRun(32, 0.05), 12.5, 0.1);
+    EXPECT_NEAR(averageSequentialRun(8, 0.05), 5.9, 0.1);
+    EXPECT_DOUBLE_EQ(averageSequentialRun(32, 0.0), 32.0);
+    EXPECT_DOUBLE_EQ(averageSequentialRun(1, 0.5), 1.0);
+}
+
+} // namespace
+} // namespace analytic
+} // namespace dtsim

@@ -1,0 +1,150 @@
+/** @file Tests for the block-pool controller cache (FOR's organization). */
+
+#include <gtest/gtest.h>
+
+#include "cache/block_cache.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(BlockCache, InsertAndLookup)
+{
+    BlockCache c(64);
+    c.insertRun(10, 8);
+    EXPECT_EQ(c.usedBlocks(), 8u);
+    EXPECT_TRUE(c.contains(10));
+    EXPECT_TRUE(c.contains(17));
+    EXPECT_FALSE(c.contains(18));
+    EXPECT_EQ(c.lookupPrefix(10, 8), 8u);
+    EXPECT_EQ(c.lookupPrefix(14, 8), 4u);
+    EXPECT_EQ(c.lookupPrefix(18, 8), 0u);
+}
+
+TEST(BlockCache, NeverExceedsCapacity)
+{
+    BlockCache c(32);
+    for (BlockNum b = 0; b < 100; b += 8)
+        c.insertRun(b * 100, 8);
+    EXPECT_LE(c.usedBlocks(), 32u);
+}
+
+TEST(BlockCache, MruEvictsConsumedFirst)
+{
+    BlockCache c(16, BlockPolicy::MRU);
+    c.insertRun(0, 8);       // Unconsumed read-ahead.
+    c.lookupPrefix(0, 4);    // Blocks 0..3 consumed.
+    c.insertRun(100, 12);    // Needs 4 evictions.
+    // The consumed blocks (MRU first: 3,2,1,0) go first; the
+    // unconsumed read-ahead 4..7 is protected.
+    EXPECT_FALSE(c.contains(3));
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(4));
+    EXPECT_TRUE(c.contains(7));
+    EXPECT_TRUE(c.contains(100));
+    EXPECT_EQ(c.evictions(), 4u);
+}
+
+TEST(BlockCache, MruFallsBackToOldestUnconsumed)
+{
+    BlockCache c(16, BlockPolicy::MRU);
+    c.insertRun(0, 16);      // All unconsumed.
+    c.insertRun(100, 4);     // Evicts the oldest read-ahead (0..3).
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(3));
+    EXPECT_TRUE(c.contains(4));
+    EXPECT_TRUE(c.contains(100));
+}
+
+TEST(BlockCache, LruEvictsLeastRecentlyConsumed)
+{
+    BlockCache c(8, BlockPolicy::LRU);
+    c.insertRun(0, 8);
+    c.lookupPrefix(0, 8);    // Consume 0..7 (7 most recent).
+    c.lookupPrefix(0, 1);    // Re-consume 0 (now most recent).
+    c.insertRun(100, 1);     // Evicts LRU consumed: block 1.
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_TRUE(c.contains(7));
+}
+
+TEST(BlockCache, ReinsertKeepsState)
+{
+    BlockCache c(8);
+    c.insertRun(0, 4);
+    c.lookupPrefix(0, 4);
+    c.insertRun(0, 4);   // Already present: no change.
+    EXPECT_EQ(c.usedBlocks(), 4u);
+}
+
+TEST(BlockCache, InvalidateRemovesBlocks)
+{
+    BlockCache c(16);
+    c.insertRun(0, 8);
+    c.lookupPrefix(0, 2);
+    c.invalidateRange(1, 4);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_FALSE(c.contains(4));
+    EXPECT_TRUE(c.contains(5));
+    EXPECT_EQ(c.usedBlocks(), 4u);
+}
+
+TEST(BlockCache, InvalidateMissingIsNoop)
+{
+    BlockCache c(16);
+    c.insertRun(0, 4);
+    c.invalidateRange(100, 50);
+    EXPECT_EQ(c.usedBlocks(), 4u);
+}
+
+TEST(BlockCache, VariableSizeStreamsCoexist)
+{
+    // The point of the block organization: many streams with
+    // different footprints share the pool without fixed partitions.
+    BlockCache c(64);
+    c.insertRun(0, 4);       // 16 KB stream.
+    c.insertRun(1000, 32);   // 128 KB stream.
+    c.insertRun(2000, 2);    // 8 KB stream.
+    c.insertRun(3000, 26);
+    EXPECT_EQ(c.usedBlocks(), 64u);
+    EXPECT_EQ(c.lookupPrefix(0, 4), 4u);
+    EXPECT_EQ(c.lookupPrefix(1000, 32), 32u);
+    EXPECT_EQ(c.lookupPrefix(2000, 2), 2u);
+}
+
+TEST(BlockCache, StressRandomizedInvariant)
+{
+    BlockCache c(128, BlockPolicy::MRU);
+    Rng rng(23);
+    for (int i = 0; i < 20000; ++i) {
+        const BlockNum b = rng.below(4096);
+        switch (rng.below(3)) {
+          case 0:
+            c.insertRun(b, 1 + rng.below(16));
+            break;
+          case 1:
+            c.lookupPrefix(b, 1 + rng.below(16));
+            break;
+          case 2:
+            c.invalidateRange(b, 1 + rng.below(16));
+            break;
+        }
+        ASSERT_LE(c.usedBlocks(), 128u);
+    }
+}
+
+TEST(BlockCache, LookupConsumesForMru)
+{
+    BlockCache c(4, BlockPolicy::MRU);
+    c.insertRun(0, 4);
+    c.lookupPrefix(2, 1);    // Consume only block 2.
+    c.insertRun(100, 1);     // Should evict block 2 (only consumed).
+    EXPECT_FALSE(c.contains(2));
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_TRUE(c.contains(3));
+}
+
+} // namespace
+} // namespace dtsim

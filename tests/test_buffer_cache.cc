@@ -1,0 +1,117 @@
+/** @file Tests for the host buffer cache model. */
+
+#include <gtest/gtest.h>
+
+#include "fs/buffer_cache.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(BufferCache, MissThenHit)
+{
+    BufferCache c(4);
+    std::vector<ArrayBlock> wb;
+    EXPECT_FALSE(c.readHit(1));
+    c.install(1, wb);
+    EXPECT_TRUE(c.readHit(1));
+    EXPECT_EQ(c.stats().readLookups, 2u);
+    EXPECT_EQ(c.stats().readMisses, 1u);
+}
+
+TEST(BufferCache, LruEviction)
+{
+    BufferCache c(3);
+    std::vector<ArrayBlock> wb;
+    c.install(1, wb);
+    c.install(2, wb);
+    c.install(3, wb);
+    c.readHit(1);          // 2 is now LRU.
+    c.install(4, wb);      // Evicts 2.
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_FALSE(c.contains(2));
+    EXPECT_TRUE(c.contains(3));
+    EXPECT_TRUE(c.contains(4));
+    EXPECT_TRUE(wb.empty());   // Clean eviction: no write-back.
+}
+
+TEST(BufferCache, DirtyEvictionWritesBack)
+{
+    BufferCache c(2);
+    std::vector<ArrayBlock> wb;
+    c.write(10, wb);
+    c.install(11, wb);
+    c.install(12, wb);     // Evicts dirty 10.
+    ASSERT_EQ(wb.size(), 1u);
+    EXPECT_EQ(wb[0], 10u);
+    EXPECT_EQ(c.stats().dirtyWritebacks, 1u);
+}
+
+TEST(BufferCache, WriteMergesIntoDirtyBlock)
+{
+    BufferCache c(4);
+    std::vector<ArrayBlock> wb;
+    EXPECT_FALSE(c.write(5, wb));   // Cold write.
+    EXPECT_TRUE(c.write(5, wb));    // Merged.
+    EXPECT_TRUE(c.write(5, wb));
+    EXPECT_EQ(c.stats().writeMerges, 2u);
+    // One dirty block despite three writes: the merge effect the
+    // paper notes (34% write requests -> 20% write accesses).
+    EXPECT_EQ(c.sync().size(), 1u);
+}
+
+TEST(BufferCache, SyncCleansWithoutEvicting)
+{
+    BufferCache c(4);
+    std::vector<ArrayBlock> wb;
+    c.write(1, wb);
+    c.write(2, wb);
+    auto dirty = c.sync();
+    EXPECT_EQ(dirty.size(), 2u);
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_TRUE(c.contains(2));
+    EXPECT_TRUE(c.sync().empty());
+    // Clean now: eviction does not write back.
+    c.install(3, wb);
+    c.install(4, wb);
+    c.install(5, wb);
+    EXPECT_TRUE(wb.empty());
+}
+
+TEST(BufferCache, DropAllFlushesAndEmpties)
+{
+    BufferCache c(4);
+    std::vector<ArrayBlock> wb;
+    c.write(1, wb);
+    c.install(2, wb);
+    auto dirty = c.dropAll();
+    EXPECT_EQ(dirty.size(), 1u);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_FALSE(c.contains(2));
+}
+
+TEST(BufferCache, WriteToCleanCachedBlockDirties)
+{
+    BufferCache c(4);
+    std::vector<ArrayBlock> wb;
+    c.install(7, wb);
+    EXPECT_TRUE(c.write(7, wb));   // Present (clean) -> true.
+    EXPECT_EQ(c.sync().size(), 1u);
+}
+
+TEST(BufferCache, CapacityNeverExceeded)
+{
+    BufferCache c(16);
+    std::vector<ArrayBlock> wb;
+    for (ArrayBlock b = 0; b < 1000; ++b) {
+        if (b % 3 == 0)
+            c.write(b, wb);
+        else
+            c.install(b, wb);
+        ASSERT_LE(c.size(), 16u);
+    }
+    EXPECT_EQ(c.stats().evictions, 1000u - 16u);
+}
+
+} // namespace
+} // namespace dtsim

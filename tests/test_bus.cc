@@ -1,0 +1,69 @@
+/** @file Tests for the shared SCSI bus model. */
+
+#include <gtest/gtest.h>
+
+#include "bus/scsi_bus.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(ScsiBus, TransferTimeMatchesRate)
+{
+    ScsiBus bus(160.0e6, 0);
+    // 160 KB at 160 MB/s = 1 ms.
+    EXPECT_EQ(bus.transferTime(160000), fromMillis(1.0));
+}
+
+TEST(ScsiBus, ArbitrationAddsFixedCost)
+{
+    ScsiBus bus(160.0e6, fromMicros(2));
+    EXPECT_EQ(bus.transferTime(0), fromMicros(2));
+}
+
+TEST(ScsiBus, SerializesOverlappingTransfers)
+{
+    ScsiBus bus(160.0e6, 0);
+    const Tick a = bus.transfer(0, 160000);       // Ends at 1 ms.
+    EXPECT_EQ(a, fromMillis(1.0));
+    const Tick b = bus.transfer(0, 160000);       // Queues behind a.
+    EXPECT_EQ(b, fromMillis(2.0));
+    EXPECT_EQ(bus.freeAt(), b);
+}
+
+TEST(ScsiBus, IdleGapNotCharged)
+{
+    ScsiBus bus(160.0e6, 0);
+    bus.transfer(0, 160000);
+    // Next transfer starts later than the bus becomes free.
+    const Tick c = bus.transfer(fromMillis(10.0), 160000);
+    EXPECT_EQ(c, fromMillis(11.0));
+    EXPECT_EQ(bus.busyTime(), fromMillis(2.0));
+}
+
+TEST(ScsiBus, UtilizationTracksBusyFraction)
+{
+    ScsiBus bus(160.0e6, 0);
+    bus.transfer(0, 160000);   // 1 ms busy.
+    EXPECT_NEAR(bus.utilization(fromMillis(4.0)), 0.25, 1e-9);
+    EXPECT_DOUBLE_EQ(bus.utilization(0), 0.0);
+}
+
+TEST(ScsiBus, CountsTenures)
+{
+    ScsiBus bus;
+    bus.transfer(0, 100);
+    bus.transfer(0, 100);
+    EXPECT_EQ(bus.tenures(), 2u);
+}
+
+TEST(ScsiBus, ManySmallTransfersAccumulate)
+{
+    ScsiBus bus(100.0e6, 0);
+    Tick end = 0;
+    for (int i = 0; i < 1000; ++i)
+        end = bus.transfer(0, 100000);   // 1 ms each.
+    EXPECT_EQ(end, fromSeconds(1.0));
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cross-validation: the paper's closed-form models (Section 4/5)
+ * against the simulator, in the regimes where the models hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/models.hh"
+#include "core/runner.hh"
+#include "hdc/hdc_planner.hh"
+#include "workload/synthetic.hh"
+
+namespace dtsim {
+namespace {
+
+/**
+ * Single-file sequential streams with one block per record, few
+ * streams: the conventional hit-rate model (f-1)/f per block applies
+ * to both FOR and (surviving) segment caches.
+ */
+TEST(CrossValidation, ForHitRateMatchesModelSmallFiles)
+{
+    SystemConfig cfg;
+    cfg.kind = SystemKind::FOR;
+    cfg.disks = 4;
+    cfg.streams = 8;           // Few streams: no replacement.
+    cfg.stripeUnitBytes = 128 * kKiB;
+
+    SyntheticParams sp;
+    sp.numFiles = 50000;
+    sp.fileSizeBytes = 16 * kKiB;   // f = 4 blocks.
+    sp.numRequests = 2000;
+    sp.coalesceProb = 0.0;          // One block per record.
+    sp.zipfAlpha = 0.0;             // No re-use.
+    SyntheticWorkload w =
+        makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
+
+    StripingMap striping(cfg.disks,
+                         cfg.stripeUnitBytes / cfg.disk.blockSize,
+                         cfg.disk.totalBlocks());
+    std::vector<LayoutBitmap> bitmaps =
+        w.image->buildBitmaps(striping);
+
+    const RunResult r = runTrace(cfg, w.trace, &bitmaps);
+
+    // Model: hit rate (f-1)/f = 0.75 while streams fit the pool.
+    const double model = analytic::forHitRate(
+        4.0, static_cast<double>(cfg.disk.cacheBlocks()), 1.0,
+        cfg.streams / cfg.disks);
+    EXPECT_DOUBLE_EQ(model, 0.75);
+    EXPECT_NEAR(r.cacheHitRate, model, 0.03);
+}
+
+TEST(CrossValidation, UtilizationReductionMatchesSimulation)
+{
+    // Section 4's formula-level claim: FOR reduces utilization for
+    // small files by cutting r in T(r). Compare media busy time of
+    // FOR vs blind for 4 KB files.
+    SystemConfig cfg;
+    cfg.disks = 4;
+    cfg.streams = 16;
+    cfg.stripeUnitBytes = 128 * kKiB;
+
+    SyntheticParams sp;
+    sp.numFiles = 50000;
+    sp.fileSizeBytes = 4 * kKiB;
+    sp.numRequests = 2000;
+    sp.zipfAlpha = 0.0;
+    SyntheticWorkload w =
+        makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
+    StripingMap striping(cfg.disks,
+                         cfg.stripeUnitBytes / cfg.disk.blockSize,
+                         cfg.disk.totalBlocks());
+    std::vector<LayoutBitmap> bitmaps =
+        w.image->buildBitmaps(striping);
+
+    cfg.kind = SystemKind::Segm;
+    const RunResult segm = runTrace(cfg, w.trace, &bitmaps);
+    cfg.kind = SystemKind::FOR;
+    const RunResult forr = runTrace(cfg, w.trace, &bitmaps);
+
+    const double measured =
+        1.0 - static_cast<double>(forr.agg.mediaBusy) /
+                  static_cast<double>(segm.agg.mediaBusy);
+    const double model = analytic::utilizationReduction(
+        cfg.disk, 4 * kKiB, 128 * kKiB);
+    // Section 4 quotes 29% for these parameters. The simulated
+    // reduction is larger because LOOK shortens the seeks the model
+    // takes at their random-access average, which inflates the
+    // share of the (eliminated) transfer time; the model is a lower
+    // bound.
+    EXPECT_NEAR(model, 0.29, 0.03);
+    EXPECT_GE(measured, model - 0.02);
+    EXPECT_LE(measured, model + 0.20);
+}
+
+TEST(CrossValidation, HdcHitRateTracksZipfMass)
+{
+    // Section 5's model: array-wide HDC of H blocks yields hit rate
+    // ~ z_alpha(H, N). With single-block files (so request-level and
+    // block-level rates coincide) and an oracle-warmed trace, the
+    // simulated HDC hit rate should land near the Zipf mass.
+    SystemConfig cfg;
+    cfg.kind = SystemKind::Segm;
+    cfg.disks = 4;
+    cfg.streams = 16;
+    cfg.stripeUnitBytes = 4 * kKiB;
+    cfg.hdcBytesPerDisk = 2 * kMiB;
+
+    SyntheticParams sp;
+    sp.numFiles = 100000;           // N single-block files.
+    sp.fileSizeBytes = 4 * kKiB;
+    sp.numRequests = 40000;
+    sp.zipfAlpha = 0.8;
+    SyntheticWorkload w =
+        makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
+
+    StripingMap striping(cfg.disks,
+                         cfg.stripeUnitBytes / cfg.disk.blockSize,
+                         cfg.disk.totalBlocks());
+    std::vector<LayoutBitmap> bitmaps =
+        w.image->buildBitmaps(striping);
+    const std::vector<ArrayBlock> pinned = selectPinnedBlocks(
+        w.trace, striping, hdcBlocksPerDisk(cfg));
+
+    const RunResult r = runTrace(cfg, w.trace, &bitmaps, &pinned);
+
+    const std::uint64_t h = hdcBlocksPerDisk(cfg) * cfg.disks;
+    const double model =
+        analytic::zipfTopMass(h, sp.numFiles, sp.zipfAlpha);
+    // The oracle planner beats the pure-popularity model slightly;
+    // allow a generous band.
+    EXPECT_NEAR(r.hdcHitRate, model, 0.10);
+    EXPECT_GT(r.hdcHitRate, model * 0.8);
+}
+
+TEST(CrossValidation, AverageSeekAgreesWithMechanism)
+{
+    // averageSeekMs (analytic) vs the mechanism measured over random
+    // accesses: both should give the drive's ~3.4 ms.
+    DiskParams p;
+    DiskGeometry geom(p);
+    DiskMechanism mech(p, geom);
+    Rng rng(61);
+    double total = 0.0;
+    const int n = 20000;
+    Tick now = 0;
+    for (int i = 0; i < n; ++i) {
+        MediaAccess acc;
+        acc.startSector = rng.below(geom.totalSectors() - 8);
+        acc.sectorCount = 8;
+        const ServiceTiming t = mech.service(acc, now);
+        total += toMillis(t.seek);
+        now += t.total();
+    }
+    EXPECT_NEAR(total / n, analytic::averageSeekMs(p), 0.15);
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,74 @@
+/** @file Tests for derived drive parameters (Table 1 consistency). */
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_params.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(DiskParams, Table1Defaults)
+{
+    DiskParams p;
+    EXPECT_EQ(p.capacityBytes, 18ULL * 1000 * 1000 * 1000);
+    EXPECT_EQ(p.rpm, 15000u);
+    EXPECT_EQ(p.blockSize, 4096u);
+    EXPECT_EQ(p.cacheBytes, 4 * kMiB);
+    EXPECT_EQ(p.segmentBytes, 128 * kKiB);
+    EXPECT_DOUBLE_EQ(p.xferRateBytesPerSec, 54.0e6);
+}
+
+TEST(DiskParams, DerivedBlockCounts)
+{
+    DiskParams p;
+    EXPECT_EQ(p.totalBlocks(), 4394531u);
+    EXPECT_EQ(p.sectorsPerBlock(), 8u);
+    EXPECT_EQ(p.totalSectors(), 4394531ull * 8);
+}
+
+TEST(DiskParams, SegmentCountsMatchTable1)
+{
+    DiskParams p;
+    p.segmentBytes = 128 * kKiB;
+    EXPECT_EQ(p.numSegments(), 27u);
+    p.segmentBytes = 256 * kKiB;
+    EXPECT_EQ(p.numSegments(), 13u);
+    p.segmentBytes = 512 * kKiB;
+    EXPECT_EQ(p.numSegments(), 6u);
+}
+
+TEST(DiskParams, UsableCacheSubtractsReservation)
+{
+    DiskParams p;
+    EXPECT_EQ(p.usableCacheBytes(),
+              4 * kMiB - 576 * kKiB);
+    EXPECT_EQ(p.cacheBlocks(), p.usableCacheBytes() / 4096);
+    p.cacheReservedBytes = p.cacheBytes + 1;
+    EXPECT_EQ(p.usableCacheBytes(), 0u);
+}
+
+TEST(DiskParams, RevolutionTimeFromRpm)
+{
+    DiskParams p;
+    EXPECT_EQ(p.revolutionTime(), fromMillis(4.0));
+    p.rpm = 10000;
+    EXPECT_EQ(p.revolutionTime(), fromMillis(6.0));
+}
+
+TEST(DiskParams, BitmapBytesOneBitPerBlock)
+{
+    DiskParams p;
+    EXPECT_EQ(p.bitmapBytes(), (p.totalBlocks() + 7) / 8);
+}
+
+TEST(DiskParams, MediaRateMatchesRawRate)
+{
+    // 422 sectors/track at 250 rev/s of 512 B sectors = 54 MB/s.
+    DiskParams p;
+    const double rate = p.sectorsPerTrack * 512.0 *
+                        (p.rpm / 60.0);
+    EXPECT_NEAR(rate, p.xferRateBytesPerSec, 0.05e6);
+}
+
+} // namespace
+} // namespace dtsim

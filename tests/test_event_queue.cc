@@ -1,0 +1,182 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, TimeAdvancesToFiredEvent)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(123, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 123u);
+}
+
+TEST(EventQueue, SchedulingInPastThrows)
+{
+    EventQueue eq;
+    eq.scheduleAt(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.scheduleAt(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(100, [&] {
+        eq.scheduleAfter(25, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 125u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.scheduleAt(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue eq;
+    bool fired = false;
+    const auto id = eq.scheduleAt(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue eq;
+    const auto id = eq.scheduleAt(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails)
+{
+    EventQueue eq;
+    const auto id = eq.scheduleAt(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelUpdatesPendingCount)
+{
+    EventQueue eq;
+    const auto a = eq.scheduleAt(10, [] {});
+    eq.scheduleAt(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(static_cast<Tick>(i), [&] { ++count; });
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {10u, 20u, 30u, 40u})
+        eq.scheduleAt(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.runUntil(25);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(eq.now(), 25u);
+    eq.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, FiredCounterAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleAt(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.fired(), 7u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick when = static_cast<Tick>((i * 7919) % 1000);
+        eq.scheduleAt(when, [&, when] {
+            if (when < last)
+                monotone = false;
+            last = when;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace dtsim

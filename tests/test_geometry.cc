@@ -1,0 +1,120 @@
+/** @file Unit and property tests for disk geometry translation. */
+
+#include <gtest/gtest.h>
+
+#include "disk/geometry.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+namespace {
+
+DiskParams
+smallDisk()
+{
+    DiskParams p;
+    p.capacityBytes = 64ULL * kMiB;
+    p.sectorsPerTrack = 100;
+    p.heads = 4;
+    return p;
+}
+
+TEST(DiskGeometry, DerivedQuantities)
+{
+    DiskParams p;   // Default Ultrastar 36Z15.
+    DiskGeometry g(p);
+    EXPECT_EQ(g.sectorsPerTrack(), 422u);
+    EXPECT_EQ(g.heads(), 8u);
+    EXPECT_EQ(g.sectorsPerCylinder(), 3376u);
+    EXPECT_EQ(g.sectorsPerBlock(), 8u);
+    // 18 GB / 4 KB = 4394531 blocks; x8 sectors.
+    EXPECT_EQ(g.totalSectors(), 4394531ull * 8);
+    // ~10k cylinders for this drive.
+    EXPECT_NEAR(g.cylinders(), 10414, 3);
+}
+
+TEST(DiskGeometry, FirstAndLastSector)
+{
+    DiskGeometry g(smallDisk());
+    const Chs first = g.sectorToChs(0);
+    EXPECT_EQ(first.cylinder, 0u);
+    EXPECT_EQ(first.head, 0u);
+    EXPECT_EQ(first.sector, 0u);
+
+    const Chs second_track = g.sectorToChs(100);
+    EXPECT_EQ(second_track.cylinder, 0u);
+    EXPECT_EQ(second_track.head, 1u);
+    EXPECT_EQ(second_track.sector, 0u);
+
+    const Chs second_cyl = g.sectorToChs(400);
+    EXPECT_EQ(second_cyl.cylinder, 1u);
+    EXPECT_EQ(second_cyl.head, 0u);
+}
+
+TEST(DiskGeometry, RoundTripRandomSectors)
+{
+    DiskGeometry g(smallDisk());
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const SectorNum s = rng.below(g.totalSectors());
+        const Chs chs = g.sectorToChs(s);
+        EXPECT_EQ(g.chsToSector(chs), s);
+        EXPECT_LT(chs.sector, g.sectorsPerTrack());
+        EXPECT_LT(chs.head, g.heads());
+        EXPECT_LT(chs.cylinder, g.cylinders());
+    }
+}
+
+TEST(DiskGeometry, BlockMappingConsistent)
+{
+    DiskGeometry g(smallDisk());
+    for (BlockNum b = 0; b < 1000; ++b) {
+        EXPECT_EQ(g.blockToSector(b), b * 8);
+        EXPECT_EQ(g.blockToCylinder(b),
+                  g.sectorToChs(b * 8).cylinder);
+    }
+}
+
+TEST(DiskGeometry, CylinderMonotoneInSector)
+{
+    DiskGeometry g(smallDisk());
+    std::uint32_t prev = 0;
+    for (SectorNum s = 0; s < g.totalSectors(); s += 997) {
+        const std::uint32_t c = g.sectorToCylinder(s);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+/** Property sweep over geometry variants. */
+struct GeomCase
+{
+    std::uint32_t spt;
+    std::uint32_t heads;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeomCase>
+{
+};
+
+TEST_P(GeometrySweep, RoundTripAndBounds)
+{
+    DiskParams p;
+    p.capacityBytes = 256ULL * kMiB;
+    p.sectorsPerTrack = GetParam().spt;
+    p.heads = GetParam().heads;
+    DiskGeometry g(p);
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const SectorNum s = rng.below(g.totalSectors());
+        ASSERT_EQ(g.chsToSector(g.sectorToChs(s)), s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, GeometrySweep,
+    ::testing::Values(GeomCase{63, 2}, GeomCase{100, 1},
+                      GeomCase{440, 8}, GeomCase{1000, 16},
+                      GeomCase{17, 5}));
+
+} // namespace
+} // namespace dtsim

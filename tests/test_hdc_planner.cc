@@ -1,0 +1,96 @@
+/** @file Tests for the host-side HDC planning policy. */
+
+#include <gtest/gtest.h>
+
+#include "hdc/hdc_planner.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(MissCounter, CountsBlocksOfRecords)
+{
+    Trace t;
+    t.push_back({10, 4, false, 0});
+    t.push_back({12, 2, true, 1});
+    MissCounter c;
+    c.addTrace(t);
+    EXPECT_EQ(c.count(10), 1u);
+    EXPECT_EQ(c.count(12), 2u);
+    EXPECT_EQ(c.count(13), 2u);
+    EXPECT_EQ(c.count(14), 0u);
+    EXPECT_EQ(c.distinctBlocks(), 4u);
+}
+
+TEST(MissCounter, TopBlocksOrderedByCount)
+{
+    MissCounter c;
+    c.add(1, 5);
+    c.add(2, 9);
+    c.add(3, 1);
+    const auto top = c.topBlocks(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 2u);
+    EXPECT_EQ(top[1], 1u);
+}
+
+TEST(MissCounter, TiesBreakTowardLowerBlock)
+{
+    MissCounter c;
+    c.add(9, 3);
+    c.add(4, 3);
+    c.add(7, 3);
+    const auto top = c.topBlocks(3);
+    EXPECT_EQ(top, (std::vector<ArrayBlock>{4, 7, 9}));
+}
+
+TEST(SelectPinned, RespectsPerDiskBudget)
+{
+    // 2 disks, unit 2 blocks. Blocks 0,1 on disk 0; 2,3 on disk 1;
+    // 4,5 on disk 0; ...
+    StripingMap m(2, 2, 1000);
+    Trace t;
+    // Make disk-0 blocks extremely hot.
+    for (int i = 0; i < 10; ++i)
+        t.push_back({0, 2, false, static_cast<std::uint32_t>(i)});
+    t.push_back({2, 2, false, 100});   // Disk 1, cooler.
+    const auto pinned = selectPinnedBlocks(t, m, 1);
+    // One block per disk: the hottest of each.
+    ASSERT_EQ(pinned.size(), 2u);
+    EXPECT_EQ(m.toPhysical(pinned[0]).disk, 0u);
+    EXPECT_EQ(m.toPhysical(pinned[1]).disk, 1u);
+}
+
+TEST(SelectPinned, SkipsDisksWithoutTraffic)
+{
+    StripingMap m(4, 1, 1000);
+    Trace t;
+    t.push_back({0, 1, false, 0});   // Disk 0 only.
+    const auto pinned = selectPinnedBlocks(t, m, 8);
+    EXPECT_EQ(pinned.size(), 1u);
+}
+
+TEST(SelectPinned, HottestBlocksChosenFirst)
+{
+    StripingMap m(1, 32, 100000);
+    Trace t;
+    for (int i = 0; i < 50; ++i)
+        t.push_back({7, 1, false, static_cast<std::uint32_t>(i)});
+    for (int i = 0; i < 20; ++i)
+        t.push_back({13, 1, false, static_cast<std::uint32_t>(i)});
+    t.push_back({20, 1, false, 999});
+    const auto pinned = selectPinnedBlocks(t, m, 2);
+    ASSERT_EQ(pinned.size(), 2u);
+    EXPECT_EQ(pinned[0], 7u);
+    EXPECT_EQ(pinned[1], 13u);
+}
+
+TEST(SelectPinned, ZeroBudgetPinsNothing)
+{
+    StripingMap m(2, 2, 1000);
+    Trace t;
+    t.push_back({0, 4, false, 0});
+    EXPECT_TRUE(selectPinnedBlocks(t, m, 0).empty());
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,117 @@
+/** @file Tests for the HDC pinned store and its command semantics. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/hdc_store.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(HdcStore, PinAndLookup)
+{
+    HdcStore h(4);
+    EXPECT_TRUE(h.pin(10));
+    EXPECT_TRUE(h.contains(10));
+    EXPECT_FALSE(h.contains(11));
+    EXPECT_EQ(h.pinnedBlocks(), 1u);
+}
+
+TEST(HdcStore, PinRespectsCapacity)
+{
+    HdcStore h(2);
+    EXPECT_TRUE(h.pin(1));
+    EXPECT_TRUE(h.pin(2));
+    EXPECT_FALSE(h.pin(3));
+    EXPECT_EQ(h.pinnedBlocks(), 2u);
+}
+
+TEST(HdcStore, DoublePinFails)
+{
+    HdcStore h(4);
+    EXPECT_TRUE(h.pin(5));
+    EXPECT_FALSE(h.pin(5));
+    EXPECT_EQ(h.pinnedBlocks(), 1u);
+}
+
+TEST(HdcStore, UnpinReleasesSpace)
+{
+    HdcStore h(1);
+    EXPECT_TRUE(h.pin(1));
+    EXPECT_FALSE(h.pin(2));
+    EXPECT_TRUE(h.unpin(1));
+    EXPECT_TRUE(h.pin(2));
+}
+
+TEST(HdcStore, UnpinReportsDirty)
+{
+    HdcStore h(4);
+    h.pin(1);
+    h.pin(2);
+    h.absorbWrite(1);
+    bool dirty = false;
+    EXPECT_TRUE(h.unpin(1, &dirty));
+    EXPECT_TRUE(dirty);
+    EXPECT_TRUE(h.unpin(2, &dirty));
+    EXPECT_FALSE(dirty);
+    EXPECT_FALSE(h.unpin(3, &dirty));
+}
+
+TEST(HdcStore, AbsorbWriteOnlyWhenPinned)
+{
+    HdcStore h(4);
+    h.pin(1);
+    EXPECT_TRUE(h.absorbWrite(1));
+    EXPECT_FALSE(h.absorbWrite(2));
+    EXPECT_EQ(h.dirtyBlocks(), 1u);
+}
+
+TEST(HdcStore, RepeatedWritesStayOneDirtyBlock)
+{
+    HdcStore h(4);
+    h.pin(1);
+    h.absorbWrite(1);
+    h.absorbWrite(1);
+    h.absorbWrite(1);
+    EXPECT_EQ(h.dirtyBlocks(), 1u);
+}
+
+TEST(HdcStore, FlushReturnsAndCleansDirty)
+{
+    HdcStore h(8);
+    for (BlockNum b : {1, 3, 5, 7})
+        h.pin(b);
+    h.absorbWrite(3);
+    h.absorbWrite(7);
+    auto dirty = h.flush();
+    std::sort(dirty.begin(), dirty.end());
+    EXPECT_EQ(dirty, (std::vector<BlockNum>{3, 7}));
+    EXPECT_EQ(h.dirtyBlocks(), 0u);
+    EXPECT_TRUE(h.flush().empty());
+    // Still pinned after flush.
+    EXPECT_TRUE(h.contains(3));
+}
+
+TEST(HdcStore, PrefixPinned)
+{
+    HdcStore h(8);
+    h.pin(10);
+    h.pin(11);
+    h.pin(12);
+    h.pin(14);
+    EXPECT_EQ(h.prefixPinned(10, 5), 3u);
+    EXPECT_EQ(h.prefixPinned(13, 2), 0u);
+    EXPECT_TRUE(h.allPinned(10, 3));
+    EXPECT_FALSE(h.allPinned(10, 4));
+}
+
+TEST(HdcStore, ZeroCapacityPinsNothing)
+{
+    HdcStore h(0);
+    EXPECT_FALSE(h.pin(1));
+    EXPECT_EQ(h.capacityBlocks(), 0u);
+}
+
+} // namespace
+} // namespace dtsim

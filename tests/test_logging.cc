@@ -1,0 +1,45 @@
+/** @file Tests for the logging/status helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Logging, StrfmtLongStrings)
+{
+    const std::string big(5000, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(old);
+}
+
+TEST(LoggingDeath, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("boom %d", 7),
+                ::testing::ExitedWithCode(1), "fatal: boom 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("bug %s", "here"), "panic: bug here");
+}
+
+} // namespace
+} // namespace dtsim

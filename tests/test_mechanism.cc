@@ -1,0 +1,165 @@
+/** @file Tests for the disk mechanism (seek + rotation + transfer). */
+
+#include <gtest/gtest.h>
+
+#include "disk/mechanism.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+namespace {
+
+struct Rig
+{
+    DiskParams params;
+    DiskGeometry geom{params};
+    DiskMechanism mech{params, geom};
+};
+
+TEST(DiskMechanism, RevolutionTimeMatchesRpm)
+{
+    DiskParams p;
+    // 15000 rpm -> 4 ms per revolution.
+    EXPECT_EQ(p.revolutionTime(), fromMillis(4.0));
+}
+
+TEST(DiskMechanism, AngleIsPeriodic)
+{
+    Rig r;
+    const Tick rev = r.params.revolutionTime();
+    EXPECT_DOUBLE_EQ(r.mech.angleAt(0), 0.0);
+    EXPECT_NEAR(r.mech.angleAt(rev / 2), 0.5, 1e-9);
+    EXPECT_NEAR(r.mech.angleAt(rev + rev / 4), 0.25, 1e-9);
+}
+
+TEST(DiskMechanism, TransferTimeMatchesRawRate)
+{
+    Rig r;
+    // 8 sectors = 4 KB; the rotation-locked media rate equals the
+    // 54 MB/s raw transfer rate of Table 1 within 1%.
+    const Tick t = r.mech.transferTime(8);
+    EXPECT_NEAR(static_cast<double>(t),
+                static_cast<double>(fromSeconds(4096.0 / 54.0e6)),
+                static_cast<double>(t) * 0.01);
+}
+
+TEST(DiskMechanism, FirstAccessFromRestHasNoSeek)
+{
+    Rig r;
+    const ServiceTiming t =
+        r.mech.service(MediaAccess{0, 8, false}, 0);
+    EXPECT_EQ(t.seek, 0u);
+    // Rotation starts aligned with sector 0 at time 0.
+    EXPECT_EQ(t.rotational, 0u);
+    EXPECT_GT(t.transfer, 0u);
+}
+
+TEST(DiskMechanism, SeekChargedForCylinderMove)
+{
+    Rig r;
+    const SectorNum far =
+        static_cast<SectorNum>(5000) * r.geom.sectorsPerCylinder();
+    const ServiceTiming t =
+        r.mech.service(MediaAccess{far, 8, false}, 0);
+    EXPECT_GT(t.seek, fromMillis(1.0));
+    EXPECT_EQ(r.mech.currentCylinder(), 5000u);
+}
+
+TEST(DiskMechanism, RotationalWaitBoundedByRevolution)
+{
+    Rig r;
+    Rng rng(7);
+    Tick now = 0;
+    const Tick rev = r.params.revolutionTime();
+    for (int i = 0; i < 2000; ++i) {
+        MediaAccess acc;
+        acc.startSector = rng.below(r.geom.totalSectors() - 8);
+        acc.sectorCount = 8;
+        const ServiceTiming t = r.mech.service(acc, now);
+        ASSERT_LT(t.rotational, rev);
+        now += t.total();
+    }
+}
+
+TEST(DiskMechanism, AverageRotationalDelayIsHalfRevolution)
+{
+    Rig r;
+    Rng rng(13);
+    Tick now = 0;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        MediaAccess acc;
+        acc.startSector = rng.below(r.geom.totalSectors() - 8);
+        acc.sectorCount = 8;
+        const ServiceTiming t = r.mech.service(acc, now);
+        sum += toMillis(t.rotational);
+        // Advance by a pseudo-random amount to decorrelate angles.
+        now += t.total() + rng.below(1000000);
+    }
+    EXPECT_NEAR(sum / n, 2.0, 0.1);   // 2.0 ms average latency.
+}
+
+TEST(DiskMechanism, SequentialAccessAvoidsSeekAndRotation)
+{
+    Rig r;
+    Tick now = 0;
+    ServiceTiming t = r.mech.service(MediaAccess{0, 80, false}, now);
+    now += t.total();
+    // The head sits right after sector 79; continuing is free of
+    // seek, and the rotational wait is (nearly) zero.
+    t = r.mech.service(MediaAccess{80, 80, false}, now);
+    EXPECT_EQ(t.seek, 0u);
+    EXPECT_LT(t.rotational, fromMillis(0.5));
+}
+
+TEST(DiskMechanism, TrackCrossingChargesHeadSwitch)
+{
+    Rig r;
+    // Read two full tracks: one boundary crossing.
+    const std::uint64_t spt = r.geom.sectorsPerTrack();
+    const ServiceTiming t =
+        r.mech.service(MediaAccess{0, spt * 2, false}, 0);
+    EXPECT_GE(t.transfer,
+              r.mech.transferTime(spt * 2) + r.params.headSwitch);
+}
+
+TEST(DiskMechanism, WriteSettleOnlyAfterSeek)
+{
+    Rig r;
+    const SectorNum far =
+        static_cast<SectorNum>(2000) * r.geom.sectorsPerCylinder();
+    ServiceTiming t = r.mech.service(MediaAccess{far, 8, true}, 0);
+    EXPECT_EQ(t.settle, r.params.writeSettle);
+
+    // Same-cylinder write: no settle charge.
+    t = r.mech.service(MediaAccess{far + 8, 8, true}, t.total());
+    EXPECT_EQ(t.settle, 0u);
+}
+
+TEST(DiskMechanism, RejectsInvalidAccesses)
+{
+    Rig r;
+    EXPECT_DEATH(r.mech.service(MediaAccess{0, 0, false}, 0), "");
+    EXPECT_DEATH(r.mech.service(
+                     MediaAccess{r.geom.totalSectors(), 8, false}, 0),
+                 "");
+}
+
+TEST(DiskMechanism, ServiceTimeInRealisticRange)
+{
+    Rig r;
+    Rng rng(17);
+    Tick now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        MediaAccess acc;
+        acc.startSector = rng.below(r.geom.totalSectors() - 8);
+        acc.sectorCount = 8;
+        const ServiceTiming t = r.mech.service(acc, now);
+        // A random 4 KB access: between 0 and ~12 ms.
+        ASSERT_LT(t.total(), fromMillis(12.0));
+        now += t.total();
+    }
+}
+
+} // namespace
+} // namespace dtsim

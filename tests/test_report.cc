@@ -1,0 +1,62 @@
+/** @file Tests for the statistics report printer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "workload/synthetic.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(Report, ContainsKeyLines)
+{
+    SystemConfig cfg;
+    cfg.disks = 2;
+    cfg.streams = 8;
+    cfg.kind = SystemKind::Segm;
+
+    SyntheticParams sp;
+    sp.numFiles = 1000;
+    sp.numRequests = 100;
+    const SyntheticWorkload w =
+        makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
+    const RunResult r = runTrace(cfg, w.trace);
+
+    std::ostringstream os;
+    printReport(os, cfg, r);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("system: Segm"), std::string::npos);
+    EXPECT_NE(out.find("sim.io_time_ms"), std::string::npos);
+    EXPECT_NE(out.find("sim.cache.hit_rate"), std::string::npos);
+    EXPECT_NE(out.find("sim.media.accesses"), std::string::npos);
+    EXPECT_NE(out.find("# total I/O time"), std::string::npos);
+}
+
+TEST(Report, ValuesMatchResult)
+{
+    SystemConfig cfg;
+    cfg.disks = 2;
+    cfg.streams = 4;
+
+    SyntheticParams sp;
+    sp.numFiles = 500;
+    sp.numRequests = 50;
+    const SyntheticWorkload w =
+        makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
+    const RunResult r = runTrace(cfg, w.trace);
+
+    std::ostringstream os;
+    printReport(os, cfg, r);
+    const std::string out = os.str();
+
+    // The requests line carries the exact count.
+    const std::string needle =
+        "sim.requests " + std::to_string(r.requests);
+    EXPECT_NE(out.find(needle), std::string::npos) << out;
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,72 @@
+/** @file Tests for the three-piece seek-time model. */
+
+#include <gtest/gtest.h>
+
+#include "disk/seek_model.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(SeekModel, ZeroDistanceIsFree)
+{
+    SeekModel m{DiskParams{}};
+    EXPECT_EQ(m.seekTime(0), 0u);
+    EXPECT_DOUBLE_EQ(m.seekTimeMs(0), 0.0);
+}
+
+TEST(SeekModel, ShortSeekUsesSqrtPiece)
+{
+    DiskParams p;
+    SeekModel m(p);
+    // n = 100 <= theta = 1150: alpha + beta*sqrt(100).
+    EXPECT_NEAR(m.seekTimeMs(100), 0.9336 + 0.0364 * 10.0, 1e-9);
+}
+
+TEST(SeekModel, LongSeekUsesLinearPiece)
+{
+    DiskParams p;
+    SeekModel m(p);
+    // n = 5000 > theta: gamma + delta*n.
+    EXPECT_NEAR(m.seekTimeMs(5000), 1.5503 + 0.00054 * 5000, 1e-9);
+}
+
+TEST(SeekModel, BoundaryPiecesAreClose)
+{
+    // The two pieces should roughly agree at theta (the regression
+    // fits the same drive).
+    DiskParams p;
+    SeekModel m(p);
+    const double below = m.seekTimeMs(p.seekThetaCyls);
+    const double above = m.seekTimeMs(p.seekThetaCyls + 1);
+    EXPECT_NEAR(below, above, 0.1);
+}
+
+TEST(SeekModel, MonotoneNonDecreasing)
+{
+    SeekModel m{DiskParams{}};
+    double prev = 0.0;
+    for (std::uint32_t n = 0; n < 10000; n += 13) {
+        const double t = m.seekTimeMs(n);
+        EXPECT_GE(t, prev - 1e-12);
+        prev = t;
+    }
+}
+
+TEST(SeekModel, AverageSeekMatchesDriveSpec)
+{
+    // The published coefficients should reproduce the drive's 3.4 ms
+    // average seek over its ~10k cylinders.
+    DiskParams p;
+    SeekModel m(p);
+    const double avg = m.averageSeekMs(9987);
+    EXPECT_NEAR(avg, 3.4, 0.3);
+}
+
+TEST(SeekModel, TicksMatchMilliseconds)
+{
+    SeekModel m{DiskParams{}};
+    EXPECT_EQ(m.seekTime(100), fromMillis(m.seekTimeMs(100)));
+}
+
+} // namespace
+} // namespace dtsim

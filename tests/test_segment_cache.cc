@@ -1,0 +1,172 @@
+/** @file Tests for the segment-based controller cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/segment_cache.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(SegmentCache, StartsEmpty)
+{
+    SegmentCache c(4, 32);
+    EXPECT_EQ(c.usedBlocks(), 0u);
+    EXPECT_EQ(c.activeSegments(), 0u);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_EQ(c.lookupPrefix(0, 8), 0u);
+}
+
+TEST(SegmentCache, InsertThenHit)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(100, 32);
+    EXPECT_TRUE(c.contains(100));
+    EXPECT_TRUE(c.contains(131));
+    EXPECT_FALSE(c.contains(132));
+    EXPECT_EQ(c.lookupPrefix(100, 16), 16u);
+    EXPECT_EQ(c.lookupPrefix(120, 32), 12u);   // Clipped at run end.
+}
+
+TEST(SegmentCache, StreamContinuationExtendsSegment)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(0, 16);
+    c.insertRun(16, 16);   // Appends to the same segment.
+    EXPECT_EQ(c.activeSegments(), 1u);
+    EXPECT_EQ(c.lookupPrefix(0, 32), 32u);
+}
+
+TEST(SegmentCache, SegmentActsAsRing)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(0, 32);
+    c.insertRun(32, 16);   // Pushes the oldest 16 blocks out.
+    EXPECT_EQ(c.activeSegments(), 1u);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(15));
+    EXPECT_TRUE(c.contains(16));
+    EXPECT_TRUE(c.contains(47));
+}
+
+TEST(SegmentCache, OversizedRunKeepsTail)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(0, 100);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(99));
+    EXPECT_EQ(c.usedBlocks(), 32u);
+}
+
+TEST(SegmentCache, WholeSegmentReplacement)
+{
+    SegmentCache c(2, 32, SegmentPolicy::LRU);
+    c.insertRun(0, 32);      // Stream A.
+    c.insertRun(100, 32);    // Stream B.
+    c.lookupPrefix(0, 1);    // Touch A: B is now LRU.
+    c.insertRun(200, 32);    // Stream C evicts B entirely.
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(100));
+    EXPECT_FALSE(c.contains(131));
+    EXPECT_TRUE(c.contains(200));
+    EXPECT_EQ(c.replacements(), 1u);
+}
+
+TEST(SegmentCache, FifoIgnoresTouches)
+{
+    SegmentCache c(2, 32, SegmentPolicy::FIFO);
+    c.insertRun(0, 32);
+    c.insertRun(100, 32);
+    c.lookupPrefix(0, 1);    // Touch A; FIFO does not care.
+    c.insertRun(200, 32);    // Evicts A (oldest created).
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(100));
+}
+
+TEST(SegmentCache, RoundRobinCyclesVictims)
+{
+    SegmentCache c(2, 8, SegmentPolicy::RoundRobin);
+    c.insertRun(0, 8);
+    c.insertRun(100, 8);
+    c.insertRun(200, 8);   // Evicts slot 0.
+    c.insertRun(300, 8);   // Evicts slot 1.
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(100));
+    EXPECT_TRUE(c.contains(200));
+    EXPECT_TRUE(c.contains(300));
+}
+
+TEST(SegmentCache, RandomPolicyStaysWithinCapacity)
+{
+    SegmentCache c(4, 8, SegmentPolicy::Random, 99);
+    for (BlockNum b = 0; b < 1000; b += 10)
+        c.insertRun(b * 100, 8);
+    EXPECT_LE(c.activeSegments(), 4u);
+    EXPECT_LE(c.usedBlocks(), 32u);
+}
+
+TEST(SegmentCache, InvalidateFullCover)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(0, 32);
+    c.invalidateRange(0, 32);
+    EXPECT_EQ(c.activeSegments(), 0u);
+}
+
+TEST(SegmentCache, InvalidateHeadAndTail)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(0, 32);
+    c.invalidateRange(0, 8);      // Head overlap.
+    EXPECT_FALSE(c.contains(7));
+    EXPECT_TRUE(c.contains(8));
+
+    c.invalidateRange(24, 100);   // Tail overlap.
+    EXPECT_TRUE(c.contains(23));
+    EXPECT_FALSE(c.contains(24));
+}
+
+TEST(SegmentCache, InvalidateMiddleDropsFromThereOn)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(0, 32);
+    c.invalidateRange(16, 4);
+    EXPECT_TRUE(c.contains(15));
+    EXPECT_FALSE(c.contains(16));
+    // Conservative: everything after the hole is dropped too (a
+    // segment holds one contiguous run).
+    EXPECT_FALSE(c.contains(25));
+}
+
+TEST(SegmentCache, PrefixFollowsAcrossAdjacentSegments)
+{
+    SegmentCache c(4, 32);
+    // Two independent streams that happen to be adjacent on disk
+    // (insert the higher one first so it is not treated as a
+    // continuation of the lower one).
+    c.insertRun(32, 32);
+    c.insertRun(0, 32);
+    EXPECT_EQ(c.activeSegments(), 2u);
+    EXPECT_EQ(c.lookupPrefix(0, 64), 64u);
+}
+
+TEST(SegmentCache, AppendBeyondCapacityDropsOldest)
+{
+    SegmentCache c(4, 32);
+    c.insertRun(0, 32);
+    c.insertRun(32, 32);   // Continuation: ring keeps the tail.
+    EXPECT_EQ(c.activeSegments(), 1u);
+    EXPECT_EQ(c.lookupPrefix(0, 64), 0u);
+    EXPECT_EQ(c.lookupPrefix(32, 32), 32u);
+}
+
+TEST(SegmentCache, CapacityAccounting)
+{
+    SegmentCache c(3, 16);
+    EXPECT_EQ(c.capacityBlocks(), 48u);
+    c.insertRun(0, 10);
+    c.insertRun(100, 16);
+    EXPECT_EQ(c.usedBlocks(), 26u);
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,162 @@
+/** @file Tests for the server workload models (Section 6.3). */
+
+#include <gtest/gtest.h>
+
+#include "workload/server_models.hh"
+
+namespace dtsim {
+namespace {
+
+constexpr std::uint64_t kCapacity = 64ULL << 20;   // Blocks.
+
+ServerModelParams
+tinyModel()
+{
+    ServerModelParams p;
+    p.name = "tiny";
+    p.numFiles = 2000;
+    p.avgFileBytes = 16 * 1024;
+    p.fileSizeSigma = 0.8;
+    p.numRequests = 5000;
+    p.warmupRequests = 1000;
+    p.zipfAlpha = 0.8;
+    p.writeRequestProb = 0.1;
+    p.bufferCacheBlocks = 500;
+    p.syncEveryRequests = 1000;
+    p.dayEveryRequests = 0;
+    p.fragmentation = 0.02;
+    p.seed = 77;
+    return p;
+}
+
+TEST(ServerModel, ProducesNonEmptyTrace)
+{
+    const ServerWorkload w = makeServerWorkload(tinyModel(),
+                                                kCapacity);
+    EXPECT_FALSE(w.trace.empty());
+    EXPECT_EQ(w.image->fileCount(), 2000u);
+}
+
+TEST(ServerModel, TraceBlocksWithinImage)
+{
+    const ServerWorkload w = makeServerWorkload(tinyModel(),
+                                                kCapacity);
+    const std::uint64_t limit = w.image->allocatedBlocks();
+    for (const TraceRecord& r : w.trace)
+        ASSERT_LE(r.start + r.count, limit);
+}
+
+TEST(ServerModel, CacheFiltersRepeatedReads)
+{
+    // With a big cache and no writes, the hottest files should be
+    // absorbed: disk accesses far fewer than logical reads.
+    ServerModelParams p = tinyModel();
+    p.writeRequestProb = 0.0;
+    p.bufferCacheBlocks = 50000;   // Larger than the footprint.
+    p.warmupRequests = 20000;      // Touch (nearly) every file.
+    const ServerWorkload w = makeServerWorkload(p, kCapacity);
+    // Post-warmup, (nearly) everything is cached: disk traffic is a
+    // tiny fraction of the 5000 recorded requests.
+    const TraceStats s = computeStats(w.trace);
+    EXPECT_LT(s.records, 250u);
+}
+
+TEST(ServerModel, WriteMergingShrinksDiskWrites)
+{
+    // The paper's 34% -> 20% effect: repeated writes to the same
+    // blocks merge in the buffer cache before reaching the disk.
+    ServerModelParams p = tinyModel();
+    p.writeRequestProb = 1.0;
+    p.zipfAlpha = 1.0;
+    p.syncEveryRequests = 1000;
+    const ServerWorkload w = makeServerWorkload(p, kCapacity);
+    const TraceStats s = computeStats(w.trace);
+    EXPECT_GT(s.writeBlocks, 0u);
+    // 5000 recorded all-write requests of ~4-block files dirty
+    // ~20000 blocks logically; merging must absorb a large share.
+    EXPECT_LT(s.writeBlocks, 15000u);
+}
+
+TEST(ServerModel, DayCycleCausesRepeatMisses)
+{
+    ServerModelParams with = tinyModel();
+    with.writeRequestProb = 0.0;
+    with.bufferCacheBlocks = 20000;
+    with.dayEveryRequests = 500;
+    ServerModelParams without = with;
+    without.dayEveryRequests = 0;
+
+    const TraceStats s_with =
+        computeStats(makeServerWorkload(with, kCapacity).trace);
+    const TraceStats s_without =
+        computeStats(makeServerWorkload(without, kCapacity).trace);
+    EXPECT_GT(s_with.maxBlockAccesses, s_without.maxBlockAccesses);
+}
+
+TEST(ServerModel, PartialAccessProducesSmallRecords)
+{
+    ServerModelParams p = tinyModel();
+    p.partialAccess = true;
+    p.avgAccessBytes = 3.1 * 1024;
+    p.avgFileBytes = 256 * 1024;
+    p.numFiles = 500;
+    const ServerWorkload w = makeServerWorkload(p, kCapacity);
+    const TraceStats s = computeStats(w.trace);
+    EXPECT_LT(s.meanRecordBlocks, 4.0);
+}
+
+TEST(ServerModel, DeterministicForSeed)
+{
+    const ServerWorkload a = makeServerWorkload(tinyModel(),
+                                                kCapacity);
+    const ServerWorkload b = makeServerWorkload(tinyModel(),
+                                                kCapacity);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); i += 17)
+        EXPECT_EQ(a.trace[i].start, b.trace[i].start);
+}
+
+TEST(ServerModel, PresetsMatchPaperHeadlines)
+{
+    const ServerModelParams web = webServerParams(1.0);
+    EXPECT_EQ(web.numFiles, 70000u);
+    EXPECT_EQ(web.numRequests, 1700000u);
+    EXPECT_NEAR(web.avgFileBytes, 21.5 * 1024, 1.0);
+    EXPECT_EQ(web.streams, 16u);
+
+    const ServerModelParams proxy = proxyServerParams(1.0);
+    EXPECT_EQ(proxy.numFiles, 440000u);
+    EXPECT_EQ(proxy.numRequests, 750000u);
+    EXPECT_NEAR(proxy.writeRequestProb, 0.43, 1e-9);
+    EXPECT_EQ(proxy.streams, 128u);
+
+    const ServerModelParams file = fileServerParams(1.0);
+    EXPECT_EQ(file.numFiles, 30000u);
+    EXPECT_EQ(file.numRequests, 9500000u);
+    EXPECT_TRUE(file.partialAccess);
+    EXPECT_NEAR(file.avgAccessBytes, 3.1 * 1024, 1.0);
+}
+
+TEST(ServerModel, ScaleAppliesToRequestsOnly)
+{
+    const ServerModelParams half = webServerParams(0.5);
+    EXPECT_EQ(half.numRequests, 850000u);
+    EXPECT_EQ(half.numFiles, 70000u);
+}
+
+TEST(ServerModel, AdjacentRecordsOfJobCoalesced)
+{
+    const ServerWorkload w = makeServerWorkload(tinyModel(),
+                                                kCapacity);
+    for (std::size_t i = 1; i < w.trace.size(); ++i) {
+        const TraceRecord& a = w.trace[i - 1];
+        const TraceRecord& b = w.trace[i];
+        if (a.job == b.job && a.isWrite == b.isWrite) {
+            ASSERT_NE(a.start + a.count, b.start)
+                << "uncoalesced adjacent records at " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,140 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace dtsim {
+namespace stats {
+namespace {
+
+TEST(Scalar, StartsAtZeroAndAccumulates)
+{
+    StatGroup root("root");
+    Scalar s(root, "count", "a counter");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s -= 1.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    StatGroup root("root");
+    Distribution d(root, "lat", "latency");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 9.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(d.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(d.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    StatGroup root("root");
+    Distribution d(root, "x", "");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    StatGroup root("root");
+    Distribution d(root, "x", "");
+    d.sample(10.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(2.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsValues)
+{
+    StatGroup root("root");
+    Histogram h(root, "h", "", 0.0, 10.0, 5);
+    h.sample(0.5);   // bucket 0
+    h.sample(3.0);   // bucket 1
+    h.sample(9.99);  // bucket 4
+    h.sample(-1.0);  // underflow
+    h.sample(10.0);  // overflow (hi is exclusive)
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    StatGroup root("root");
+    Histogram h(root, "h", "", 0.0, 4.0, 4);
+    h.sample(1.5, 10);
+    EXPECT_EQ(h.bucket(1), 10u);
+    EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(StatGroup, PrintsHierarchy)
+{
+    StatGroup root("sim");
+    StatGroup child(root, "disk0");
+    Scalar a(root, "events", "total events");
+    Scalar b(child, "seeks", "seek count");
+    ++a;
+    b += 3;
+
+    std::ostringstream os;
+    root.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sim.events 1"), std::string::npos);
+    EXPECT_NE(out.find("sim.disk0.seeks 3"), std::string::npos);
+    EXPECT_NE(out.find("# total events"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup root("sim");
+    StatGroup child(root, "c");
+    Scalar a(root, "a", "");
+    Scalar b(child, "b", "");
+    a += 5;
+    b += 7;
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Distribution, WelfordMatchesNaiveOnRandomData)
+{
+    StatGroup root("root");
+    Distribution d(root, "x", "");
+    double sum = 0.0, sq = 0.0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        const double v = std::sin(i * 0.7) * 100.0;
+        d.sample(v);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = (sq - n * mean * mean) / (n - 1);
+    EXPECT_NEAR(d.mean(), mean, 1e-9);
+    EXPECT_NEAR(d.variance(), var, 1e-6);
+}
+
+} // namespace
+} // namespace stats
+} // namespace dtsim

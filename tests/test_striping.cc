@@ -1,0 +1,131 @@
+/** @file Tests for RAID-0 striping address translation and splitting. */
+
+#include <gtest/gtest.h>
+
+#include "array/striping.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(StripingMap, RoundRobinPlacement)
+{
+    StripingMap m(4, 8, 1024);
+    // First unit on disk 0, second on disk 1, ...
+    EXPECT_EQ(m.toPhysical(0), (PhysicalLoc{0, 0}));
+    EXPECT_EQ(m.toPhysical(7), (PhysicalLoc{0, 7}));
+    EXPECT_EQ(m.toPhysical(8), (PhysicalLoc{1, 0}));
+    EXPECT_EQ(m.toPhysical(31), (PhysicalLoc{3, 7}));
+    // Fifth unit wraps to disk 0's second unit.
+    EXPECT_EQ(m.toPhysical(32), (PhysicalLoc{0, 8}));
+}
+
+TEST(StripingMap, RoundTripRandomBlocks)
+{
+    StripingMap m(8, 32, 1 << 20);
+    Rng rng(41);
+    for (int i = 0; i < 20000; ++i) {
+        const ArrayBlock lb = rng.below(m.totalBlocks());
+        const PhysicalLoc loc = m.toPhysical(lb);
+        ASSERT_LT(loc.disk, 8u);
+        ASSERT_EQ(m.toLogical(loc.disk, loc.block), lb);
+    }
+}
+
+TEST(StripingMap, SingleDiskIsIdentity)
+{
+    StripingMap m(1, 32, 1000000);
+    for (ArrayBlock lb = 0; lb < 1000; lb += 13) {
+        EXPECT_EQ(m.toPhysical(lb).disk, 0u);
+        EXPECT_EQ(m.toPhysical(lb).block, lb);
+    }
+}
+
+TEST(StripingMap, SplitWithinOneUnit)
+{
+    StripingMap m(4, 8, 1024);
+    const auto subs = m.split(2, 4);
+    ASSERT_EQ(subs.size(), 1u);
+    EXPECT_EQ(subs[0].disk, 0u);
+    EXPECT_EQ(subs[0].start, 2u);
+    EXPECT_EQ(subs[0].count, 4u);
+    EXPECT_EQ(subs[0].logicalOffset, 0u);
+}
+
+TEST(StripingMap, SplitAcrossUnits)
+{
+    StripingMap m(4, 8, 1024);
+    const auto subs = m.split(6, 8);   // Blocks 6..13.
+    ASSERT_EQ(subs.size(), 2u);
+    EXPECT_EQ(subs[0].disk, 0u);
+    EXPECT_EQ(subs[0].start, 6u);
+    EXPECT_EQ(subs[0].count, 2u);
+    EXPECT_EQ(subs[1].disk, 1u);
+    EXPECT_EQ(subs[1].start, 0u);
+    EXPECT_EQ(subs[1].count, 6u);
+    EXPECT_EQ(subs[1].logicalOffset, 2u);
+}
+
+TEST(StripingMap, SplitLargeRequestTouchesAllDisks)
+{
+    StripingMap m(4, 8, 1024);
+    const auto subs = m.split(0, 64);   // 8 units over 4 disks.
+    // Units 0..7; disks 0,1,2,3,0,1,2,3 -- adjacent same-disk units
+    // are NOT physically contiguous, so 8 sub-ranges.
+    EXPECT_EQ(subs.size(), 8u);
+    std::uint64_t total = 0;
+    for (const auto& s : subs)
+        total += s.count;
+    EXPECT_EQ(total, 64u);
+}
+
+TEST(StripingMap, SplitMergesContiguousOnSingleDisk)
+{
+    StripingMap m(1, 8, 1024);
+    const auto subs = m.split(0, 64);
+    ASSERT_EQ(subs.size(), 1u);
+    EXPECT_EQ(subs[0].count, 64u);
+}
+
+TEST(StripingMap, SplitCoversExactlyOnce)
+{
+    StripingMap m(8, 32, 1 << 20);
+    Rng rng(43);
+    for (int i = 0; i < 1000; ++i) {
+        const ArrayBlock start = rng.below((1 << 20) - 600);
+        const std::uint64_t count = 1 + rng.below(512);
+        std::uint64_t covered = 0;
+        for (const auto& s : m.split(start, count)) {
+            for (std::uint64_t k = 0; k < s.count; ++k) {
+                const ArrayBlock lb =
+                    m.toLogical(s.disk, s.start + k);
+                ASSERT_EQ(lb, start + s.logicalOffset + k);
+            }
+            covered += s.count;
+        }
+        ASSERT_EQ(covered, count);
+    }
+}
+
+/** The paper's Section 2.2: unit size vs. sub-request count. */
+class SplitSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SplitSweep, SubRequestCountMatchesUnits)
+{
+    const std::uint64_t unit = GetParam();
+    StripingMap m(8, unit, 1 << 20);
+    const std::uint64_t req = 64;   // 256 KB.
+    const auto subs = m.split(0, req);
+    const std::uint64_t expect = (req + unit - 1) / unit;
+    EXPECT_EQ(subs.size(), std::min<std::uint64_t>(expect, expect));
+    EXPECT_EQ(subs.size(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, SplitSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64,
+                                           128));
+
+} // namespace
+} // namespace dtsim

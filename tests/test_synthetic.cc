@@ -1,0 +1,143 @@
+/** @file Tests for the Section 6.2 synthetic workload generator. */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "workload/synthetic.hh"
+
+namespace dtsim {
+namespace {
+
+constexpr std::uint64_t kCapacity = 16ULL << 20;   // Blocks.
+
+TEST(Synthetic, GeneratesRequestedJobCount)
+{
+    SyntheticParams p;
+    p.numFiles = 1000;
+    p.fileSizeBytes = 16 * kKiB;
+    p.numRequests = 500;
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    const TraceStats s = computeStats(w.trace);
+    EXPECT_EQ(s.jobs, 500u);
+    EXPECT_GE(s.records, 500u);
+}
+
+TEST(Synthetic, WholeFilesAreRead)
+{
+    SyntheticParams p;
+    p.numFiles = 100;
+    p.fileSizeBytes = 16 * kKiB;   // 4 blocks.
+    p.numRequests = 200;
+    p.coalesceProb = 1.0;          // One record per file access.
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    for (const TraceRecord& r : w.trace)
+        EXPECT_EQ(r.count, 4u);
+}
+
+TEST(Synthetic, CoalescingControlsRecordSizes)
+{
+    SyntheticParams p;
+    p.numFiles = 100;
+    p.fileSizeBytes = 16 * kKiB;
+    p.numRequests = 2000;
+    p.coalesceProb = 0.0;
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    const TraceStats s = computeStats(w.trace);
+    EXPECT_DOUBLE_EQ(s.meanRecordBlocks, 1.0);
+    EXPECT_EQ(s.records, 8000u);
+}
+
+TEST(Synthetic, MeanRecordsPerJobMatchesCoalescingModel)
+{
+    SyntheticParams p;
+    p.numFiles = 500;
+    p.fileSizeBytes = 16 * kKiB;   // 4 blocks, 3 boundaries.
+    p.numRequests = 20000;
+    p.coalesceProb = 0.87;
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    const TraceStats s = computeStats(w.trace);
+    const double per_job =
+        static_cast<double>(s.records) / static_cast<double>(s.jobs);
+    EXPECT_NEAR(per_job, 1.0 + 3.0 * 0.13, 0.02);
+}
+
+TEST(Synthetic, WriteProbabilityRespected)
+{
+    SyntheticParams p;
+    p.numFiles = 1000;
+    p.numRequests = 20000;
+    p.writeProb = 0.3;
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    const TraceStats s = computeStats(w.trace);
+    EXPECT_NEAR(s.writeRecordFraction, 0.3, 0.02);
+}
+
+TEST(Synthetic, ZipfSkewsFilePopularity)
+{
+    SyntheticParams p;
+    p.numFiles = 1000;
+    p.numRequests = 20000;
+    p.zipfAlpha = 1.0;
+    p.coalesceProb = 1.0;
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    // The most popular file's start block should appear far more
+    // often than a uniform share.
+    std::unordered_map<ArrayBlock, int> starts;
+    for (const TraceRecord& r : w.trace)
+        ++starts[r.start / 4 * 4];
+    int max_count = 0;
+    for (const auto& [b, n] : starts)
+        max_count = std::max(max_count, n);
+    EXPECT_GT(max_count, 20000 / 1000 * 10);
+}
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    SyntheticParams p;
+    p.numFiles = 200;
+    p.numRequests = 300;
+    const SyntheticWorkload a = makeSynthetic(p, kCapacity);
+    const SyntheticWorkload b = makeSynthetic(p, kCapacity);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i)
+        EXPECT_EQ(a.trace[i].start, b.trace[i].start);
+}
+
+TEST(Synthetic, FragmentationSplitsRecords)
+{
+    SyntheticParams p;
+    p.numFiles = 500;
+    p.fileSizeBytes = 32 * kKiB;
+    p.numRequests = 2000;
+    p.coalesceProb = 1.0;
+    p.fragmentation = 0.5;
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    const TraceStats s = computeStats(w.trace);
+    // With heavy fragmentation, whole-file reads split into several
+    // extent-sized records even at 100% coalescing.
+    EXPECT_GT(static_cast<double>(s.records) /
+                  static_cast<double>(s.jobs),
+              2.0);
+}
+
+TEST(Synthetic, JobsAreContiguousInTrace)
+{
+    SyntheticParams p;
+    p.numFiles = 100;
+    p.numRequests = 500;
+    p.coalesceProb = 0.5;
+    const SyntheticWorkload w = makeSynthetic(p, kCapacity);
+    std::uint32_t prev = 0;
+    bool first = true;
+    for (const TraceRecord& r : w.trace) {
+        if (!first) {
+            EXPECT_TRUE(r.job == prev || r.job == prev + 1);
+        }
+        prev = r.job;
+        first = false;
+    }
+}
+
+} // namespace
+} // namespace dtsim

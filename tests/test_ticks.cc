@@ -1,0 +1,47 @@
+/** @file Unit tests for the tick/time helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+namespace dtsim {
+namespace {
+
+TEST(Ticks, UnitRelations)
+{
+    EXPECT_EQ(kUsec, 1000u * kNsec);
+    EXPECT_EQ(kMsec, 1000u * kUsec);
+    EXPECT_EQ(kSec, 1000u * kMsec);
+}
+
+TEST(Ticks, RoundTripSeconds)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(fromSeconds(1.5)), 1.5);
+    EXPECT_DOUBLE_EQ(toMillis(fromMillis(3.4)), 3.4);
+    EXPECT_DOUBLE_EQ(toMicros(fromMicros(250.0)), 250.0);
+}
+
+TEST(Ticks, NegativeClampsToZero)
+{
+    EXPECT_EQ(fromSeconds(-1.0), 0u);
+    EXPECT_EQ(fromMillis(-0.1), 0u);
+    EXPECT_EQ(fromMicros(-5.0), 0u);
+}
+
+TEST(Ticks, RoundsToNearest)
+{
+    // 1.4 ns rounds down, 1.6 ns rounds up.
+    EXPECT_EQ(fromMicros(0.0014), 1u);
+    EXPECT_EQ(fromMicros(0.0016), 2u);
+}
+
+TEST(Ticks, FormatPicksUnit)
+{
+    EXPECT_EQ(formatTicks(2 * kSec), "2.000 s");
+    EXPECT_EQ(formatTicks(fromMillis(3.4)), "3.400 ms");
+    EXPECT_EQ(formatTicks(fromMicros(12.0)), "12.000 us");
+    EXPECT_EQ(formatTicks(7), "7 ns");
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,98 @@
+/** @file Tests for trace records, statistics, and persistence. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/trace.hh"
+
+namespace dtsim {
+namespace {
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.push_back({100, 4, false, 0});
+    t.push_back({104, 2, false, 0});
+    t.push_back({100, 4, true, 1});
+    t.push_back({500, 1, false, 2});
+    return t;
+}
+
+TEST(TraceStats, CountsRecordsAndBlocks)
+{
+    const TraceStats s = computeStats(sampleTrace());
+    EXPECT_EQ(s.records, 4u);
+    EXPECT_EQ(s.writeRecords, 1u);
+    EXPECT_EQ(s.blocks, 11u);
+    EXPECT_EQ(s.writeBlocks, 4u);
+    EXPECT_EQ(s.jobs, 3u);
+    EXPECT_DOUBLE_EQ(s.writeRecordFraction, 0.25);
+    EXPECT_DOUBLE_EQ(s.meanRecordBlocks, 11.0 / 4.0);
+}
+
+TEST(TraceStats, DistinctAndMax)
+{
+    const TraceStats s = computeStats(sampleTrace());
+    // Blocks 100..105 and 500: 7 distinct; 100..103 accessed twice.
+    EXPECT_EQ(s.distinctBlocks, 7u);
+    EXPECT_EQ(s.maxBlockAccesses, 2u);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats s = computeStats({});
+    EXPECT_EQ(s.records, 0u);
+    EXPECT_DOUBLE_EQ(s.meanRecordBlocks, 0.0);
+}
+
+TEST(AccessCounts, SortedDescending)
+{
+    const auto counts = accessCountsSorted(sampleTrace());
+    ASSERT_EQ(counts.size(), 7u);
+    for (std::size_t i = 1; i < counts.size(); ++i)
+        EXPECT_LE(counts[i], counts[i - 1]);
+    EXPECT_EQ(counts[0], 2u);
+}
+
+TEST(AccessCounts, TopTruncation)
+{
+    const auto counts = accessCountsSorted(sampleTrace(), 3);
+    EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(TracePersistence, SaveLoadRoundTrip)
+{
+    const Trace t = sampleTrace();
+    const std::string path = "/tmp/dtsim_trace_test.txt";
+    saveTrace(t, path);
+    const Trace loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(loaded[i].start, t[i].start);
+        EXPECT_EQ(loaded[i].count, t[i].count);
+        EXPECT_EQ(loaded[i].isWrite, t[i].isWrite);
+        EXPECT_EQ(loaded[i].job, t[i].job);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TracePersistence, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/nope.txt"),
+                 std::runtime_error);
+}
+
+TEST(TracePersistence, LoadMalformedThrows)
+{
+    const std::string path = "/tmp/dtsim_trace_bad.txt";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# header\nnot a record\n", f);
+    std::fclose(f);
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dtsim

@@ -1,0 +1,150 @@
+/** @file Tests for zoned (multi-rate) recording. */
+
+#include <gtest/gtest.h>
+
+#include "disk/mechanism.hh"
+#include "disk/zones.hh"
+#include "sim/rng.hh"
+
+namespace dtsim {
+namespace {
+
+DiskParams
+smallDisk()
+{
+    DiskParams p;
+    p.capacityBytes = 256ULL * kMiB;
+    p.heads = 4;
+    return p;
+}
+
+TEST(ZonedGeometry, ExplicitTableTiles)
+{
+    DiskParams p = smallDisk();
+    std::vector<Zone> zones{
+        {0, 100, 440, 0},
+        {100, 100, 380, 0},
+        {200, 100, 340, 0},
+    };
+    ZonedGeometry g(p, zones);
+    EXPECT_EQ(g.cylinders(), 300u);
+    EXPECT_EQ(g.totalSectors(),
+              100ull * 4 * 440 + 100ull * 4 * 380 +
+                  100ull * 4 * 340);
+    EXPECT_EQ(g.zones()[1].firstSector, 100ull * 4 * 440);
+}
+
+TEST(ZonedGeometry, GapInTableIsFatal)
+{
+    DiskParams p = smallDisk();
+    std::vector<Zone> zones{
+        {0, 100, 440, 0},
+        {150, 100, 380, 0},   // Gap at cylinder 100.
+    };
+    EXPECT_DEATH({ ZonedGeometry g(p, zones); }, "tile");
+}
+
+TEST(ZonedGeometry, ZoneLookupsByBoundary)
+{
+    DiskParams p = smallDisk();
+    std::vector<Zone> zones{
+        {0, 10, 100, 0},
+        {10, 10, 50, 0},
+    };
+    ZonedGeometry g(p, zones);
+    const SectorNum z0 = 10ull * 4 * 100;
+    EXPECT_EQ(g.sectorToZone(0), 0u);
+    EXPECT_EQ(g.sectorToZone(z0 - 1), 0u);
+    EXPECT_EQ(g.sectorToZone(z0), 1u);
+    EXPECT_EQ(g.cylinderToZone(9), 0u);
+    EXPECT_EQ(g.cylinderToZone(10), 1u);
+}
+
+TEST(ZonedGeometry, RoundTripAcrossZones)
+{
+    DiskParams p = smallDisk();
+    ZonedGeometry g = ZonedGeometry::makeDefault(p, 6, 440, 340);
+    Rng rng(51);
+    for (int i = 0; i < 10000; ++i) {
+        const SectorNum s = rng.below(g.totalSectors());
+        const Chs chs = g.sectorToChs(s);
+        ASSERT_EQ(g.chsToSector(chs), s);
+        ASSERT_LT(chs.cylinder, g.cylinders());
+        ASSERT_LT(chs.sector, g.sectorsPerTrackAt(s));
+    }
+}
+
+TEST(ZonedGeometry, DefaultCoversCapacity)
+{
+    DiskParams p;   // The real drive.
+    ZonedGeometry g = ZonedGeometry::makeDefault(p, 8);
+    EXPECT_GE(g.totalSectors(), p.totalSectors());
+    EXPECT_EQ(g.zones().size(), 8u);
+    EXPECT_EQ(g.zones().front().sectorsPerTrack, 440u);
+    EXPECT_EQ(g.zones().back().sectorsPerTrack, 340u);
+}
+
+TEST(ZonedGeometry, OuterZoneTransfersFaster)
+{
+    DiskParams p;
+    ZonedGeometry g = ZonedGeometry::makeDefault(p, 8);
+    const Tick rev = p.revolutionTime();
+    const Tick outer = g.transferTime(0, 880, rev);
+    const Tick inner = g.transferTime(
+        g.totalSectors() - 1000, 880, rev);
+    EXPECT_LT(outer, inner);
+    // Rates differ by the 440:340 track-capacity ratio.
+    EXPECT_NEAR(static_cast<double>(inner) /
+                    static_cast<double>(outer),
+                440.0 / 340.0, 0.02);
+}
+
+TEST(ZonedGeometry, TransferSpanningZonesSumsRates)
+{
+    DiskParams p = smallDisk();
+    std::vector<Zone> zones{
+        {0, 10, 100, 0},
+        {10, 10, 50, 0},
+    };
+    ZonedGeometry g(p, zones);
+    const Tick rev = fromMillis(4.0);
+    const SectorNum boundary = 10ull * 4 * 100;
+    // 100 sectors before + 50 after: exactly 1 + 1 revolutions.
+    const Tick t =
+        g.transferTime(boundary - 100, 150, rev);
+    EXPECT_NEAR(static_cast<double>(t),
+                static_cast<double>(2 * rev), 2.0);
+}
+
+TEST(ZonedMechanism, ZonedTransferUsedWhenAttached)
+{
+    DiskParams p;
+    DiskGeometry flat(p);
+    ZonedGeometry zoned = ZonedGeometry::makeDefault(p, 8);
+
+    DiskMechanism plain(p, flat);
+    DiskMechanism with_zones(p, flat);
+    with_zones.setZonedGeometry(&zoned);
+
+    // An outer-zone access is faster than the flat average rate.
+    MediaAccess acc{0, 880, false};
+    const Tick t_flat = plain.service(acc, 0).transfer;
+    const Tick t_zoned = with_zones.service(acc, 0).transfer;
+    EXPECT_LT(t_zoned, t_flat);
+}
+
+TEST(ZonedMechanism, ControllerParamsEnableZones)
+{
+    // End-to-end: a controller with recordingZones reads the outer
+    // zone faster than the flat one.
+    // (Covered more cheaply at the mechanism level above; here we
+    // only check construction does not blow up.)
+    DiskParams p;
+    p.recordingZones = 8;
+    EXPECT_GT(ZonedGeometry::makeDefault(p, p.recordingZones)
+                  .totalSectors(),
+              0u);
+}
+
+} // namespace
+} // namespace dtsim

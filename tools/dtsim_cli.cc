@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Command-line experiment driver: build a workload (synthetic or one
+ * of the paper's server models, or a saved trace file), run it
+ * against a configured system, and print a full statistics report.
+ *
+ * Examples:
+ *   dtsim_cli --workload synthetic --system for --file-kb 16
+ *   dtsim_cli --workload web --scale 0.05 --system segm --hdc-kb 2048
+ *   dtsim_cli --workload synthetic --save-trace /tmp/t.txt
+ *   dtsim_cli --load-trace /tmp/t.txt --system nora
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "hdc/hdc_planner.hh"
+#include "sim/logging.hh"
+#include "workload/server_models.hh"
+#include "workload/synthetic.hh"
+
+using namespace dtsim;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: dtsim_cli [options]\n"
+        "workload:\n"
+        "  --workload synthetic|web|proxy|file   (default synthetic)\n"
+        "  --requests N        synthetic requests (default 10000)\n"
+        "  --file-kb N         synthetic file size (default 16)\n"
+        "  --zipf A            popularity coefficient\n"
+        "  --writes P          synthetic write fraction [0,1]\n"
+        "  --scale S           server-model request scale "
+        "(default 0.05)\n"
+        "  --load-trace PATH   replay a saved trace instead\n"
+        "  --save-trace PATH   save the generated trace and exit\n"
+        "system:\n"
+        "  --system segm|block|nora|for          (default segm)\n"
+        "  --hdc-kb N          per-disk HDC budget (default 0)\n"
+        "  --hdc-policy pinned|victim            (default pinned)\n"
+        "  --disks N           array size (default 8)\n"
+        "  --unit-kb N         striping unit (default 128)\n"
+        "  --streams N         concurrent streams (default 128)\n"
+        "  --workers N         I/O thread pool (default streams)\n"
+        "  --sched fcfs|look|clook|sstf          (default look)\n"
+        "  --zones N           recording zones (default 0 = flat)\n"
+        "  --seed N            RNG seed\n");
+}
+
+const char*
+arg(int argc, char** argv, int& i)
+{
+    if (i + 1 >= argc)
+        fatal("missing value for %s", argv[i]);
+    return argv[++i];
+}
+
+SystemKind
+parseKind(const std::string& s)
+{
+    if (s == "segm")
+        return SystemKind::Segm;
+    if (s == "block")
+        return SystemKind::Block;
+    if (s == "nora")
+        return SystemKind::NoRA;
+    if (s == "for")
+        return SystemKind::FOR;
+    fatal("unknown system '%s'", s.c_str());
+}
+
+SchedulerKind
+parseSched(const std::string& s)
+{
+    if (s == "fcfs")
+        return SchedulerKind::FCFS;
+    if (s == "look")
+        return SchedulerKind::LOOK;
+    if (s == "clook")
+        return SchedulerKind::CLOOK;
+    if (s == "sstf")
+        return SchedulerKind::SSTF;
+    fatal("unknown scheduler '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string workload = "synthetic";
+    std::string load_trace, save_trace;
+    SystemConfig cfg;
+    SyntheticParams sp;
+    double scale = 0.05;
+    std::string hdc_policy = "pinned";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--workload") {
+            workload = arg(argc, argv, i);
+        } else if (a == "--requests") {
+            sp.numRequests = std::strtoull(arg(argc, argv, i),
+                                           nullptr, 10);
+        } else if (a == "--file-kb") {
+            sp.fileSizeBytes =
+                std::strtoull(arg(argc, argv, i), nullptr, 10) *
+                kKiB;
+        } else if (a == "--zipf") {
+            sp.zipfAlpha = std::atof(arg(argc, argv, i));
+        } else if (a == "--writes") {
+            sp.writeProb = std::atof(arg(argc, argv, i));
+        } else if (a == "--scale") {
+            scale = std::atof(arg(argc, argv, i));
+        } else if (a == "--load-trace") {
+            load_trace = arg(argc, argv, i);
+        } else if (a == "--save-trace") {
+            save_trace = arg(argc, argv, i);
+        } else if (a == "--system") {
+            cfg.kind = parseKind(arg(argc, argv, i));
+        } else if (a == "--hdc-kb") {
+            cfg.hdcBytesPerDisk =
+                std::strtoull(arg(argc, argv, i), nullptr, 10) *
+                kKiB;
+        } else if (a == "--hdc-policy") {
+            hdc_policy = arg(argc, argv, i);
+        } else if (a == "--disks") {
+            cfg.disks = static_cast<unsigned>(
+                std::atoi(arg(argc, argv, i)));
+        } else if (a == "--unit-kb") {
+            cfg.stripeUnitBytes =
+                std::strtoull(arg(argc, argv, i), nullptr, 10) *
+                kKiB;
+        } else if (a == "--streams") {
+            cfg.streams = static_cast<unsigned>(
+                std::atoi(arg(argc, argv, i)));
+        } else if (a == "--workers") {
+            cfg.workers = static_cast<unsigned>(
+                std::atoi(arg(argc, argv, i)));
+        } else if (a == "--sched") {
+            cfg.scheduler = parseSched(arg(argc, argv, i));
+        } else if (a == "--zones") {
+            cfg.disk.recordingZones = static_cast<unsigned>(
+                std::atoi(arg(argc, argv, i)));
+        } else if (a == "--seed") {
+            cfg.seed = std::strtoull(arg(argc, argv, i), nullptr,
+                                     10);
+            sp.seed = cfg.seed;
+        } else {
+            usage();
+            fatal("unknown option '%s'", a.c_str());
+        }
+    }
+
+    if (hdc_policy == "victim")
+        cfg.hdcPolicy = HdcPolicy::VictimCache;
+    else if (hdc_policy != "pinned")
+        fatal("unknown HDC policy '%s'", hdc_policy.c_str());
+
+    const std::uint64_t capacity =
+        cfg.disks * cfg.disk.totalBlocks();
+
+    // Build or load the workload.
+    Trace trace;
+    std::unique_ptr<FileSystemImage> image;
+    if (!load_trace.empty()) {
+        trace = loadTrace(load_trace);
+        std::printf("loaded %zu records from %s\n", trace.size(),
+                    load_trace.c_str());
+        if (cfg.kind == SystemKind::FOR)
+            fatal("FOR needs a file-system image; loaded traces "
+                  "carry none (use --workload instead)");
+    } else if (workload == "synthetic") {
+        SyntheticWorkload w = makeSynthetic(sp, capacity);
+        trace = std::move(w.trace);
+        image = std::move(w.image);
+    } else {
+        ServerModelParams p;
+        if (workload == "web")
+            p = webServerParams(scale);
+        else if (workload == "proxy")
+            p = proxyServerParams(scale);
+        else if (workload == "file")
+            p = fileServerParams(scale);
+        else
+            fatal("unknown workload '%s'", workload.c_str());
+        cfg.streams = p.streams;
+        ServerWorkload w = makeServerWorkload(p, capacity);
+        trace = std::move(w.trace);
+        image = std::move(w.image);
+    }
+
+    const TraceStats ts = computeStats(trace);
+    std::printf("trace: %llu records, %llu blocks, %.1f%% writes, "
+                "%llu jobs\n",
+                static_cast<unsigned long long>(ts.records),
+                static_cast<unsigned long long>(ts.blocks),
+                ts.writeRecordFraction * 100.0,
+                static_cast<unsigned long long>(ts.jobs));
+
+    if (!save_trace.empty()) {
+        saveTrace(trace, save_trace);
+        std::printf("saved to %s\n", save_trace.c_str());
+        return 0;
+    }
+
+    // FOR bitmaps and the HDC pin plan.
+    StripingMap striping(cfg.disks,
+                         cfg.stripeUnitBytes / cfg.disk.blockSize,
+                         cfg.disk.totalBlocks());
+    std::vector<LayoutBitmap> bitmaps;
+    if (image)
+        bitmaps = image->buildBitmaps(striping);
+
+    std::vector<ArrayBlock> pinned;
+    const std::vector<ArrayBlock>* pp = nullptr;
+    if (cfg.hdcBytesPerDisk > 0 &&
+        cfg.hdcPolicy == HdcPolicy::Pinned) {
+        pinned = selectPinnedBlocks(trace, striping,
+                                    hdcBlocksPerDisk(cfg));
+        pp = &pinned;
+    }
+
+    const RunResult r = runTrace(
+        cfg, trace, bitmaps.empty() ? nullptr : &bitmaps, pp);
+    printReport(std::cout, cfg, r);
+    return 0;
+}
