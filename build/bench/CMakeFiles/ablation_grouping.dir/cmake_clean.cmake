@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grouping.dir/ablation_grouping.cc.o"
+  "CMakeFiles/ablation_grouping.dir/ablation_grouping.cc.o.d"
+  "CMakeFiles/ablation_grouping.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_grouping.dir/bench_util.cc.o.d"
+  "ablation_grouping"
+  "ablation_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

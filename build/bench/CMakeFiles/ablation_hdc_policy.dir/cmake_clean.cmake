@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hdc_policy.dir/ablation_hdc_policy.cc.o"
+  "CMakeFiles/ablation_hdc_policy.dir/ablation_hdc_policy.cc.o.d"
+  "CMakeFiles/ablation_hdc_policy.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_hdc_policy.dir/bench_util.cc.o.d"
+  "ablation_hdc_policy"
+  "ablation_hdc_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hdc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_segment_policy.dir/ablation_segment_policy.cc.o"
+  "CMakeFiles/ablation_segment_policy.dir/ablation_segment_policy.cc.o.d"
+  "CMakeFiles/ablation_segment_policy.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_segment_policy.dir/bench_util.cc.o.d"
+  "ablation_segment_policy"
+  "ablation_segment_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_segment_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_segment_size.dir/ablation_segment_size.cc.o"
+  "CMakeFiles/ablation_segment_size.dir/ablation_segment_size.cc.o.d"
+  "CMakeFiles/ablation_segment_size.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_segment_size.dir/bench_util.cc.o.d"
+  "ablation_segment_size"
+  "ablation_segment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_segment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

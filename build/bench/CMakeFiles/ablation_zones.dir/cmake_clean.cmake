@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zones.dir/ablation_zones.cc.o"
+  "CMakeFiles/ablation_zones.dir/ablation_zones.cc.o.d"
+  "CMakeFiles/ablation_zones.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_zones.dir/bench_util.cc.o.d"
+  "ablation_zones"
+  "ablation_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_fragmentation.dir/bench_util.cc.o"
+  "CMakeFiles/fig01_fragmentation.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig01_fragmentation.dir/fig01_fragmentation.cc.o"
+  "CMakeFiles/fig01_fragmentation.dir/fig01_fragmentation.cc.o.d"
+  "fig01_fragmentation"
+  "fig01_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

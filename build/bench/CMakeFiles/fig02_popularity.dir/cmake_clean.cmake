@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_popularity.dir/bench_util.cc.o"
+  "CMakeFiles/fig02_popularity.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig02_popularity.dir/fig02_popularity.cc.o"
+  "CMakeFiles/fig02_popularity.dir/fig02_popularity.cc.o.d"
+  "fig02_popularity"
+  "fig02_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

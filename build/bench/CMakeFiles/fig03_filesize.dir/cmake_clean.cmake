@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_filesize.dir/bench_util.cc.o"
+  "CMakeFiles/fig03_filesize.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig03_filesize.dir/fig03_filesize.cc.o"
+  "CMakeFiles/fig03_filesize.dir/fig03_filesize.cc.o.d"
+  "fig03_filesize"
+  "fig03_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

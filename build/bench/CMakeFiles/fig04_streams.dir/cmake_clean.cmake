@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_streams.dir/bench_util.cc.o"
+  "CMakeFiles/fig04_streams.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig04_streams.dir/fig04_streams.cc.o"
+  "CMakeFiles/fig04_streams.dir/fig04_streams.cc.o.d"
+  "fig04_streams"
+  "fig04_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_zipf.dir/bench_util.cc.o"
+  "CMakeFiles/fig05_zipf.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig05_zipf.dir/fig05_zipf.cc.o"
+  "CMakeFiles/fig05_zipf.dir/fig05_zipf.cc.o.d"
+  "fig05_zipf"
+  "fig05_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/fig06_writes.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/fig06_writes.dir/bench_util.cc.o.d"
+  "/root/repo/bench/fig06_writes.cc" "bench/CMakeFiles/fig06_writes.dir/fig06_writes.cc.o" "gcc" "bench/CMakeFiles/fig06_writes.dir/fig06_writes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/dtsim_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dtsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdc/CMakeFiles/dtsim_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dtsim_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/dtsim_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/dtsim_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dtsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dtsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/dtsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dtsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_writes.dir/bench_util.cc.o"
+  "CMakeFiles/fig06_writes.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig06_writes.dir/fig06_writes.cc.o"
+  "CMakeFiles/fig06_writes.dir/fig06_writes.cc.o.d"
+  "fig06_writes"
+  "fig06_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

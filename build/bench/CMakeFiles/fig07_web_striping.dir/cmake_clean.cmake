@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_web_striping.dir/bench_util.cc.o"
+  "CMakeFiles/fig07_web_striping.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig07_web_striping.dir/fig07_web_striping.cc.o"
+  "CMakeFiles/fig07_web_striping.dir/fig07_web_striping.cc.o.d"
+  "fig07_web_striping"
+  "fig07_web_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_web_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

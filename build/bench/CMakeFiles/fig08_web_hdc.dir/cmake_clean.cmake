@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_web_hdc.dir/bench_util.cc.o"
+  "CMakeFiles/fig08_web_hdc.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig08_web_hdc.dir/fig08_web_hdc.cc.o"
+  "CMakeFiles/fig08_web_hdc.dir/fig08_web_hdc.cc.o.d"
+  "fig08_web_hdc"
+  "fig08_web_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_web_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

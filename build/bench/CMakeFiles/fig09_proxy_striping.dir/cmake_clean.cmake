@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_proxy_striping.dir/bench_util.cc.o"
+  "CMakeFiles/fig09_proxy_striping.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig09_proxy_striping.dir/fig09_proxy_striping.cc.o"
+  "CMakeFiles/fig09_proxy_striping.dir/fig09_proxy_striping.cc.o.d"
+  "fig09_proxy_striping"
+  "fig09_proxy_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_proxy_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

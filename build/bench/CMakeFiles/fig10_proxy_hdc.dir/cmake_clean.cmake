@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_proxy_hdc.dir/bench_util.cc.o"
+  "CMakeFiles/fig10_proxy_hdc.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig10_proxy_hdc.dir/fig10_proxy_hdc.cc.o"
+  "CMakeFiles/fig10_proxy_hdc.dir/fig10_proxy_hdc.cc.o.d"
+  "fig10_proxy_hdc"
+  "fig10_proxy_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_proxy_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

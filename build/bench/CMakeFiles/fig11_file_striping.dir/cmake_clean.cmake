@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_file_striping.dir/bench_util.cc.o"
+  "CMakeFiles/fig11_file_striping.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig11_file_striping.dir/fig11_file_striping.cc.o"
+  "CMakeFiles/fig11_file_striping.dir/fig11_file_striping.cc.o.d"
+  "fig11_file_striping"
+  "fig11_file_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_file_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

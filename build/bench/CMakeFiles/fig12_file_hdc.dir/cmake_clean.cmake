@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_file_hdc.dir/bench_util.cc.o"
+  "CMakeFiles/fig12_file_hdc.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig12_file_hdc.dir/fig12_file_hdc.cc.o"
+  "CMakeFiles/fig12_file_hdc.dir/fig12_file_hdc.cc.o.d"
+  "fig12_file_hdc"
+  "fig12_file_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_file_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

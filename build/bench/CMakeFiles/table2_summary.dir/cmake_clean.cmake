@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_summary.dir/bench_util.cc.o"
+  "CMakeFiles/table2_summary.dir/bench_util.cc.o.d"
+  "CMakeFiles/table2_summary.dir/table2_summary.cc.o"
+  "CMakeFiles/table2_summary.dir/table2_summary.cc.o.d"
+  "table2_summary"
+  "table2_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

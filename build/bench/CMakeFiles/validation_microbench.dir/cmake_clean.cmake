@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_microbench.dir/bench_util.cc.o"
+  "CMakeFiles/validation_microbench.dir/bench_util.cc.o.d"
+  "CMakeFiles/validation_microbench.dir/validation_microbench.cc.o"
+  "CMakeFiles/validation_microbench.dir/validation_microbench.cc.o.d"
+  "validation_microbench"
+  "validation_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_policy.dir/hdc_policy.cpp.o"
+  "CMakeFiles/hdc_policy.dir/hdc_policy.cpp.o.d"
+  "hdc_policy"
+  "hdc_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_tuner.dir/striping_tuner.cpp.o"
+  "CMakeFiles/striping_tuner.dir/striping_tuner.cpp.o.d"
+  "striping_tuner"
+  "striping_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("disk")
+subdirs("cache")
+subdirs("controller")
+subdirs("bus")
+subdirs("array")
+subdirs("fs")
+subdirs("workload")
+subdirs("hdc")
+subdirs("core")
+subdirs("analytic")

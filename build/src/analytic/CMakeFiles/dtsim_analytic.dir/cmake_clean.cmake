@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_analytic.dir/models.cc.o"
+  "CMakeFiles/dtsim_analytic.dir/models.cc.o.d"
+  "libdtsim_analytic.a"
+  "libdtsim_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_array.dir/disk_array.cc.o"
+  "CMakeFiles/dtsim_array.dir/disk_array.cc.o.d"
+  "CMakeFiles/dtsim_array.dir/striping.cc.o"
+  "CMakeFiles/dtsim_array.dir/striping.cc.o.d"
+  "libdtsim_array.a"
+  "libdtsim_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

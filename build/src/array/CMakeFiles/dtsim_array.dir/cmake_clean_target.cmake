@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtsim_array.a"
+)

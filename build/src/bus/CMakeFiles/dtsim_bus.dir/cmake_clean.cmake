@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_bus.dir/scsi_bus.cc.o"
+  "CMakeFiles/dtsim_bus.dir/scsi_bus.cc.o.d"
+  "libdtsim_bus.a"
+  "libdtsim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

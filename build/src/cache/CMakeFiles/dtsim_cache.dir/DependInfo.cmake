@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_cache.cc" "src/cache/CMakeFiles/dtsim_cache.dir/block_cache.cc.o" "gcc" "src/cache/CMakeFiles/dtsim_cache.dir/block_cache.cc.o.d"
+  "/root/repo/src/cache/hdc_store.cc" "src/cache/CMakeFiles/dtsim_cache.dir/hdc_store.cc.o" "gcc" "src/cache/CMakeFiles/dtsim_cache.dir/hdc_store.cc.o.d"
+  "/root/repo/src/cache/segment_cache.cc" "src/cache/CMakeFiles/dtsim_cache.dir/segment_cache.cc.o" "gcc" "src/cache/CMakeFiles/dtsim_cache.dir/segment_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/dtsim_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_cache.dir/block_cache.cc.o"
+  "CMakeFiles/dtsim_cache.dir/block_cache.cc.o.d"
+  "CMakeFiles/dtsim_cache.dir/hdc_store.cc.o"
+  "CMakeFiles/dtsim_cache.dir/hdc_store.cc.o.d"
+  "CMakeFiles/dtsim_cache.dir/segment_cache.cc.o"
+  "CMakeFiles/dtsim_cache.dir/segment_cache.cc.o.d"
+  "libdtsim_cache.a"
+  "libdtsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/disk_controller.cc" "src/controller/CMakeFiles/dtsim_controller.dir/disk_controller.cc.o" "gcc" "src/controller/CMakeFiles/dtsim_controller.dir/disk_controller.cc.o.d"
+  "/root/repo/src/controller/layout_bitmap.cc" "src/controller/CMakeFiles/dtsim_controller.dir/layout_bitmap.cc.o" "gcc" "src/controller/CMakeFiles/dtsim_controller.dir/layout_bitmap.cc.o.d"
+  "/root/repo/src/controller/scheduler.cc" "src/controller/CMakeFiles/dtsim_controller.dir/scheduler.cc.o" "gcc" "src/controller/CMakeFiles/dtsim_controller.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/dtsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dtsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dtsim_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_controller.dir/disk_controller.cc.o"
+  "CMakeFiles/dtsim_controller.dir/disk_controller.cc.o.d"
+  "CMakeFiles/dtsim_controller.dir/layout_bitmap.cc.o"
+  "CMakeFiles/dtsim_controller.dir/layout_bitmap.cc.o.d"
+  "CMakeFiles/dtsim_controller.dir/scheduler.cc.o"
+  "CMakeFiles/dtsim_controller.dir/scheduler.cc.o.d"
+  "libdtsim_controller.a"
+  "libdtsim_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_core.dir/replay.cc.o"
+  "CMakeFiles/dtsim_core.dir/replay.cc.o.d"
+  "CMakeFiles/dtsim_core.dir/report.cc.o"
+  "CMakeFiles/dtsim_core.dir/report.cc.o.d"
+  "CMakeFiles/dtsim_core.dir/runner.cc.o"
+  "CMakeFiles/dtsim_core.dir/runner.cc.o.d"
+  "CMakeFiles/dtsim_core.dir/system.cc.o"
+  "CMakeFiles/dtsim_core.dir/system.cc.o.d"
+  "libdtsim_core.a"
+  "libdtsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_disk.dir/geometry.cc.o"
+  "CMakeFiles/dtsim_disk.dir/geometry.cc.o.d"
+  "CMakeFiles/dtsim_disk.dir/mechanism.cc.o"
+  "CMakeFiles/dtsim_disk.dir/mechanism.cc.o.d"
+  "CMakeFiles/dtsim_disk.dir/seek_model.cc.o"
+  "CMakeFiles/dtsim_disk.dir/seek_model.cc.o.d"
+  "CMakeFiles/dtsim_disk.dir/zones.cc.o"
+  "CMakeFiles/dtsim_disk.dir/zones.cc.o.d"
+  "libdtsim_disk.a"
+  "libdtsim_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_fs.dir/buffer_cache.cc.o"
+  "CMakeFiles/dtsim_fs.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/dtsim_fs.dir/coalescer.cc.o"
+  "CMakeFiles/dtsim_fs.dir/coalescer.cc.o.d"
+  "CMakeFiles/dtsim_fs.dir/file_layout.cc.o"
+  "CMakeFiles/dtsim_fs.dir/file_layout.cc.o.d"
+  "CMakeFiles/dtsim_fs.dir/prefetcher.cc.o"
+  "CMakeFiles/dtsim_fs.dir/prefetcher.cc.o.d"
+  "libdtsim_fs.a"
+  "libdtsim_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_hdc.dir/hdc_planner.cc.o"
+  "CMakeFiles/dtsim_hdc.dir/hdc_planner.cc.o.d"
+  "CMakeFiles/dtsim_hdc.dir/victim_cache.cc.o"
+  "CMakeFiles/dtsim_hdc.dir/victim_cache.cc.o.d"
+  "libdtsim_hdc.a"
+  "libdtsim_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

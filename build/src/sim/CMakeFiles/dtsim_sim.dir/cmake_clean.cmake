@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/dtsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/dtsim_sim.dir/logging.cc.o"
+  "CMakeFiles/dtsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/dtsim_sim.dir/rng.cc.o"
+  "CMakeFiles/dtsim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/dtsim_sim.dir/ticks.cc.o"
+  "CMakeFiles/dtsim_sim.dir/ticks.cc.o.d"
+  "libdtsim_sim.a"
+  "libdtsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_stats.dir/stats.cc.o"
+  "CMakeFiles/dtsim_stats.dir/stats.cc.o.d"
+  "libdtsim_stats.a"
+  "libdtsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_workload.dir/server_models.cc.o"
+  "CMakeFiles/dtsim_workload.dir/server_models.cc.o.d"
+  "CMakeFiles/dtsim_workload.dir/synthetic.cc.o"
+  "CMakeFiles/dtsim_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/dtsim_workload.dir/trace.cc.o"
+  "CMakeFiles/dtsim_workload.dir/trace.cc.o.d"
+  "libdtsim_workload.a"
+  "libdtsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/dtsim_tests.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_analytic.cc.o.d"
+  "/root/repo/tests/test_array.cc" "tests/CMakeFiles/dtsim_tests.dir/test_array.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_array.cc.o.d"
+  "/root/repo/tests/test_block_cache.cc" "tests/CMakeFiles/dtsim_tests.dir/test_block_cache.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_block_cache.cc.o.d"
+  "/root/repo/tests/test_buffer_cache.cc" "tests/CMakeFiles/dtsim_tests.dir/test_buffer_cache.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_buffer_cache.cc.o.d"
+  "/root/repo/tests/test_bus.cc" "tests/CMakeFiles/dtsim_tests.dir/test_bus.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_bus.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/dtsim_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_cross_validation.cc" "tests/CMakeFiles/dtsim_tests.dir/test_cross_validation.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_cross_validation.cc.o.d"
+  "/root/repo/tests/test_disk_params.cc" "tests/CMakeFiles/dtsim_tests.dir/test_disk_params.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_disk_params.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/dtsim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_file_layout.cc" "tests/CMakeFiles/dtsim_tests.dir/test_file_layout.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_file_layout.cc.o.d"
+  "/root/repo/tests/test_for_hdc_interaction.cc" "tests/CMakeFiles/dtsim_tests.dir/test_for_hdc_interaction.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_for_hdc_interaction.cc.o.d"
+  "/root/repo/tests/test_fs_bitmap_sweep.cc" "tests/CMakeFiles/dtsim_tests.dir/test_fs_bitmap_sweep.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_fs_bitmap_sweep.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/dtsim_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_hdc_planner.cc" "tests/CMakeFiles/dtsim_tests.dir/test_hdc_planner.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_hdc_planner.cc.o.d"
+  "/root/repo/tests/test_hdc_store.cc" "tests/CMakeFiles/dtsim_tests.dir/test_hdc_store.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_hdc_store.cc.o.d"
+  "/root/repo/tests/test_layout_bitmap.cc" "tests/CMakeFiles/dtsim_tests.dir/test_layout_bitmap.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_layout_bitmap.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/dtsim_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_mechanism.cc" "tests/CMakeFiles/dtsim_tests.dir/test_mechanism.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_mechanism.cc.o.d"
+  "/root/repo/tests/test_mirroring.cc" "tests/CMakeFiles/dtsim_tests.dir/test_mirroring.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_mirroring.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/dtsim_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_replay.cc" "tests/CMakeFiles/dtsim_tests.dir/test_replay.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_replay.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/dtsim_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/dtsim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/dtsim_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/dtsim_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_seek_model.cc" "tests/CMakeFiles/dtsim_tests.dir/test_seek_model.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_seek_model.cc.o.d"
+  "/root/repo/tests/test_segment_cache.cc" "tests/CMakeFiles/dtsim_tests.dir/test_segment_cache.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_segment_cache.cc.o.d"
+  "/root/repo/tests/test_server_models.cc" "tests/CMakeFiles/dtsim_tests.dir/test_server_models.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_server_models.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/dtsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_striping.cc" "tests/CMakeFiles/dtsim_tests.dir/test_striping.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_striping.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/dtsim_tests.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_system_matrix.cc" "tests/CMakeFiles/dtsim_tests.dir/test_system_matrix.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_system_matrix.cc.o.d"
+  "/root/repo/tests/test_ticks.cc" "tests/CMakeFiles/dtsim_tests.dir/test_ticks.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_ticks.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/dtsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_victim_cache.cc" "tests/CMakeFiles/dtsim_tests.dir/test_victim_cache.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_victim_cache.cc.o.d"
+  "/root/repo/tests/test_zones.cc" "tests/CMakeFiles/dtsim_tests.dir/test_zones.cc.o" "gcc" "tests/CMakeFiles/dtsim_tests.dir/test_zones.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/dtsim_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dtsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdc/CMakeFiles/dtsim_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dtsim_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/dtsim_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/dtsim_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dtsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dtsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/dtsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dtsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

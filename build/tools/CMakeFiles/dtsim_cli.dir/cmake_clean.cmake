@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtsim_cli.dir/dtsim_cli.cc.o"
+  "CMakeFiles/dtsim_cli.dir/dtsim_cli.cc.o.d"
+  "dtsim_cli"
+  "dtsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
