@@ -27,31 +27,48 @@ main()
     const std::vector<int> widths{12, 10, 10, 10};
     bench::printRow({"coalesce", "Segm(s)", "No-RA", "FOR"}, widths);
 
+    // Each probability needs its own workload and bitmaps; build them
+    // all first so every run goes into one parallel batch.
     const double probs[] = {0.0, 0.25, 0.5, 0.75, 0.87, 1.0};
-    for (double p : probs) {
+    const std::size_t n = std::size(probs);
+    std::vector<SyntheticWorkload> workloads;
+    std::vector<std::vector<LayoutBitmap>> bitmaps(n);
+    workloads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
         SyntheticParams sp;
         sp.fileSizeBytes = 16 * kKiB;
         sp.numRequests = 10000;
-        sp.coalesceProb = p;
-        SyntheticWorkload w = makeSynthetic(
-            sp, base.disks * base.disk.totalBlocks());
+        sp.coalesceProb = probs[i];
+        workloads.push_back(makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks()));
 
         StripingMap striping(base.disks,
                              base.stripeUnitBytes /
                                  base.disk.blockSize,
                              base.disk.totalBlocks());
-        const std::vector<LayoutBitmap> bitmaps =
-            w.image->buildBitmaps(striping);
+        bitmaps[i] = workloads[i].image->buildBitmaps(striping);
+    }
 
-        const RunResult segm = bench::runSystem(
-            SystemKind::Segm, 0, base, w.trace, bitmaps);
-        const RunResult nora = bench::runSystem(
-            SystemKind::NoRA, 0, base, w.trace, bitmaps);
-        const RunResult forr = bench::runSystem(
-            SystemKind::FOR, 0, base, w.trace, bitmaps);
+    std::vector<bench::SystemSpec> specs;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (SystemKind sys : {SystemKind::Segm, SystemKind::NoRA,
+                               SystemKind::FOR}) {
+            bench::SystemSpec spec;
+            spec.kind = sys;
+            spec.base = base;
+            spec.trace = &workloads[i].trace;
+            spec.bitmaps = &bitmaps[i];
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
 
+    for (std::size_t i = 0; i < n; ++i) {
+        const RunResult& segm = results[i * 3];
+        const RunResult& nora = results[i * 3 + 1];
+        const RunResult& forr = results[i * 3 + 2];
         const double t0 = static_cast<double>(segm.ioTime);
-        bench::printRow({bench::fmt(p, 2),
+        bench::printRow({bench::fmt(probs[i], 2),
                          bench::fmt(toSeconds(segm.ioTime)),
                          bench::fmt(nora.ioTime / t0),
                          bench::fmt(forr.ioTime / t0)},

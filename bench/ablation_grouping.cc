@@ -17,36 +17,6 @@
 
 using namespace dtsim;
 
-namespace {
-
-RunResult
-runCase(bool grouped, SystemKind kind, double dir_prob)
-{
-    SystemConfig base;
-    base.streams = 128;
-    base.workers = 64;
-    base.stripeUnitBytes = 128 * kKiB;
-
-    SyntheticParams sp;
-    sp.numFiles = 200000;
-    sp.fileSizeBytes = 8 * kKiB;
-    sp.numRequests = 6000;
-    sp.dirFiles = 8;
-    sp.dirAccessProb = dir_prob;
-    sp.groupedLayout = grouped;
-
-    SyntheticWorkload w =
-        makeSynthetic(sp, base.disks * base.disk.totalBlocks());
-    StripingMap striping(base.disks,
-                         base.stripeUnitBytes / base.disk.blockSize,
-                         base.disk.totalBlocks());
-    const std::vector<LayoutBitmap> bitmaps =
-        w.image->buildBitmaps(striping);
-    return bench::runSystem(kind, 0, base, w.trace, bitmaps);
-}
-
-} // namespace
-
 int
 main()
 {
@@ -58,25 +28,63 @@ main()
     bench::printRow({"layout", "dir-reads", "Segm(s)", "FOR(s)"},
                     widths);
 
-    for (const double p : {0.0, 0.6}) {
-        const RunResult seg_scatter =
-            runCase(false, SystemKind::Segm, p);
-        const RunResult for_scatter =
-            runCase(false, SystemKind::FOR, p);
-        bench::printRow({"scattered",
-                         bench::fmtPct(p, 0),
-                         bench::fmt(toSeconds(seg_scatter.ioTime)),
-                         bench::fmt(toSeconds(for_scatter.ioTime))},
-                        widths);
-        const RunResult seg_group =
-            runCase(true, SystemKind::Segm, p);
-        const RunResult for_group =
-            runCase(true, SystemKind::FOR, p);
-        bench::printRow({"grouped (explicit)",
-                         bench::fmtPct(p, 0),
-                         bench::fmt(toSeconds(seg_group.ioTime)),
-                         bench::fmt(toSeconds(for_group.ioTime))},
-                        widths);
+    SystemConfig base;
+    base.streams = 128;
+    base.workers = 64;
+    base.stripeUnitBytes = 128 * kKiB;
+
+    // One workload per (dir_prob, layout) case, shared by the Segm
+    // and FOR runs of that case; all eight runs go into one batch.
+    const double probs[] = {0.0, 0.6};
+    const bool layouts[] = {false, true};
+    std::vector<SyntheticWorkload> workloads;
+    std::vector<std::vector<LayoutBitmap>> bitmaps(4);
+    std::vector<bench::SystemSpec> specs;
+    workloads.reserve(4);
+    for (const double p : probs) {
+        for (const bool grouped : layouts) {
+            SyntheticParams sp;
+            sp.numFiles = 200000;
+            sp.fileSizeBytes = 8 * kKiB;
+            sp.numRequests = 6000;
+            sp.dirFiles = 8;
+            sp.dirAccessProb = p;
+            sp.groupedLayout = grouped;
+
+            workloads.push_back(makeSynthetic(
+                sp, base.disks * base.disk.totalBlocks()));
+            StripingMap striping(
+                base.disks,
+                base.stripeUnitBytes / base.disk.blockSize,
+                base.disk.totalBlocks());
+            const std::size_t i = workloads.size() - 1;
+            bitmaps[i] = workloads[i].image->buildBitmaps(striping);
+
+            for (SystemKind sys :
+                 {SystemKind::Segm, SystemKind::FOR}) {
+                bench::SystemSpec spec;
+                spec.kind = sys;
+                spec.base = base;
+                spec.trace = &workloads[i].trace;
+                spec.bitmaps = &bitmaps[i];
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
+
+    std::size_t idx = 0;
+    for (const double p : probs) {
+        for (const bool grouped : layouts) {
+            const RunResult& segm = results[idx++];
+            const RunResult& forr = results[idx++];
+            bench::printRow({grouped ? "grouped (explicit)"
+                                     : "scattered",
+                             bench::fmtPct(p, 0),
+                             bench::fmt(toSeconds(segm.ioTime)),
+                             bench::fmt(toSeconds(forr.ioTime))},
+                            widths);
+        }
     }
     std::printf("\nexpect: grouping rescues blind read-ahead only "
                 "when directory reads dominate\nand the grouping "

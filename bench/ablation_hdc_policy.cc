@@ -41,25 +41,34 @@ main()
 
     const std::uint64_t hdc = 2 * kMiB;
 
-    const RunResult none =
-        bench::runSystem(SystemKind::Segm, 0, base, w.trace, bitmaps);
+    // All three policies run as one parallel batch.
+    std::vector<bench::SystemSpec> specs(3);
+    specs[0].base = base;
+    specs[1].base = base;
+    specs[1].hdcBytes = hdc;
+    specs[2].base = base;
+    specs[2].base.hdcPolicy = HdcPolicy::VictimCache;
+    specs[2].base.victimGhostBlocks = params.bufferCacheBlocks;
+    specs[2].hdcBytes = hdc;
+    for (bench::SystemSpec& spec : specs) {
+        spec.kind = SystemKind::Segm;
+        spec.trace = &w.trace;
+        spec.bitmaps = &bitmaps;
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
+
+    const RunResult& none = results[0];
     bench::printRow({"no HDC", bench::fmt(toSeconds(none.ioTime)),
                      "-", "-"},
                     widths);
 
-    const RunResult top = bench::runSystem(SystemKind::Segm, hdc,
-                                           base, w.trace, bitmaps);
+    const RunResult& top = results[1];
     bench::printRow({"top-miss pinning (paper)",
                      bench::fmt(toSeconds(top.ioTime)),
                      bench::fmtPct(top.hdcHitRate), "-"},
                     widths);
 
-    SystemConfig victim_cfg = base;
-    victim_cfg.kind = SystemKind::Segm;
-    victim_cfg.hdcBytesPerDisk = hdc;
-    victim_cfg.hdcPolicy = HdcPolicy::VictimCache;
-    victim_cfg.victimGhostBlocks = params.bufferCacheBlocks;
-    const RunResult vic = runTrace(victim_cfg, w.trace, &bitmaps);
+    const RunResult& vic = results[2];
     bench::printRow({"victim cache",
                      bench::fmt(toSeconds(vic.ioTime)),
                      bench::fmtPct(vic.hdcHitRate),

@@ -14,42 +14,6 @@
 
 using namespace dtsim;
 
-namespace {
-
-RunResult
-runCase(bool mirrored, SystemKind kind, double write_prob)
-{
-    SystemConfig base;
-    base.streams = 128;
-    base.workers = 64;
-    base.stripeUnitBytes = 128 * kKiB;
-    base.mirrored = mirrored;
-
-    SyntheticParams sp;
-    sp.numFiles = 200000;
-    sp.fileSizeBytes = 16 * kKiB;
-    sp.numRequests = 8000;
-    sp.writeProb = write_prob;
-
-    const unsigned logical_disks =
-        mirrored ? base.disks / 2 : base.disks;
-    const std::uint64_t capacity =
-        logical_disks * base.disk.totalBlocks();
-
-    SyntheticWorkload w = makeSynthetic(sp, capacity);
-    StripingMap striping(logical_disks,
-                         base.stripeUnitBytes / base.disk.blockSize,
-                         base.disk.totalBlocks());
-    std::vector<LayoutBitmap> bitmaps =
-        w.image->buildBitmaps(striping);
-
-    SystemConfig cfg = base;
-    cfg.kind = kind;
-    return runTrace(cfg, w.trace, &bitmaps);
-}
-
-} // namespace
-
 int
 main()
 {
@@ -60,12 +24,59 @@ main()
     bench::printRow({"writes", "layout", "Segm(s)", "FOR(s)"},
                     widths);
 
-    for (const double wp : {0.0, 0.3}) {
-        for (const bool mirrored : {false, true}) {
-            const RunResult segm =
-                runCase(mirrored, SystemKind::Segm, wp);
-            const RunResult forr =
-                runCase(mirrored, SystemKind::FOR, wp);
+    // One workload per (write_prob, layout) case, shared by the Segm
+    // and FOR runs of that case; all eight runs go into one batch.
+    const double write_probs[] = {0.0, 0.3};
+    const bool layouts[] = {false, true};
+    std::vector<SyntheticWorkload> workloads;
+    std::vector<std::vector<LayoutBitmap>> bitmaps(4);
+    std::vector<bench::SystemSpec> specs;
+    workloads.reserve(4);
+    for (const double wp : write_probs) {
+        for (const bool mirrored : layouts) {
+            SystemConfig base;
+            base.streams = 128;
+            base.workers = 64;
+            base.stripeUnitBytes = 128 * kKiB;
+            base.mirrored = mirrored;
+
+            SyntheticParams sp;
+            sp.numFiles = 200000;
+            sp.fileSizeBytes = 16 * kKiB;
+            sp.numRequests = 8000;
+            sp.writeProb = wp;
+
+            const unsigned logical_disks =
+                mirrored ? base.disks / 2 : base.disks;
+            const std::uint64_t capacity =
+                logical_disks * base.disk.totalBlocks();
+
+            workloads.push_back(makeSynthetic(sp, capacity));
+            StripingMap striping(
+                logical_disks,
+                base.stripeUnitBytes / base.disk.blockSize,
+                base.disk.totalBlocks());
+            const std::size_t i = workloads.size() - 1;
+            bitmaps[i] = workloads[i].image->buildBitmaps(striping);
+
+            for (SystemKind sys :
+                 {SystemKind::Segm, SystemKind::FOR}) {
+                bench::SystemSpec spec;
+                spec.kind = sys;
+                spec.base = base;
+                spec.trace = &workloads[i].trace;
+                spec.bitmaps = &bitmaps[i];
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
+
+    std::size_t idx = 0;
+    for (const double wp : write_probs) {
+        for (const bool mirrored : layouts) {
+            const RunResult& segm = results[idx++];
+            const RunResult& forr = results[idx++];
             bench::printRow({bench::fmtPct(wp, 0),
                              mirrored ? "RAID-10" : "RAID-0",
                              bench::fmt(toSeconds(segm.ioTime)),

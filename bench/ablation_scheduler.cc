@@ -42,15 +42,25 @@ main()
                                    SchedulerKind::LOOK,
                                    SchedulerKind::CLOOK,
                                    SchedulerKind::SSTF};
+    std::vector<bench::SystemSpec> specs;
     for (SchedulerKind k : kinds) {
-        SystemConfig cfg = base;
-        cfg.scheduler = k;
-        const RunResult segm = bench::runSystem(
-            SystemKind::Segm, 0, cfg, w.trace, bitmaps);
-        const RunResult forr = bench::runSystem(
-            SystemKind::FOR, 0, cfg, w.trace, bitmaps);
+        for (SystemKind sys : {SystemKind::Segm, SystemKind::FOR}) {
+            bench::SystemSpec spec;
+            spec.kind = sys;
+            spec.base = base;
+            spec.base.scheduler = k;
+            spec.trace = &w.trace;
+            spec.bitmaps = &bitmaps;
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
+    for (std::size_t i = 0; i < std::size(kinds); ++i) {
+        const RunResult& segm = results[i * 2];
+        const RunResult& forr = results[i * 2 + 1];
         bench::printRow(
-            {schedulerKindName(k), bench::fmt(toSeconds(segm.ioTime)),
+            {schedulerKindName(kinds[i]),
+             bench::fmt(toSeconds(segm.ioTime)),
              bench::fmt(toSeconds(forr.ioTime)),
              bench::fmtPct(1.0 - static_cast<double>(forr.ioTime) /
                                      static_cast<double>(segm.ioTime))},

@@ -42,12 +42,34 @@ main()
     const SegmentPolicy policies[] = {
         SegmentPolicy::LRU, SegmentPolicy::FIFO, SegmentPolicy::Random,
         SegmentPolicy::RoundRobin};
+    const BlockPolicy block_policies[] = {BlockPolicy::MRU,
+                                          BlockPolicy::LRU};
+
+    // One parallel batch covering both sections of the table.
+    std::vector<bench::SystemSpec> specs;
     for (SegmentPolicy p : policies) {
-        SystemConfig cfg = base;
-        cfg.segmentPolicy = p;
-        const RunResult r = bench::runSystem(SystemKind::Segm, 0, cfg,
-                                             w.trace, bitmaps);
-        bench::printRow({segmentPolicyName(p),
+        bench::SystemSpec spec;
+        spec.kind = SystemKind::Segm;
+        spec.base = base;
+        spec.base.segmentPolicy = p;
+        spec.trace = &w.trace;
+        spec.bitmaps = &bitmaps;
+        specs.push_back(std::move(spec));
+    }
+    for (BlockPolicy p : block_policies) {
+        bench::SystemSpec spec;
+        spec.kind = SystemKind::FOR;
+        spec.base = base;
+        spec.base.blockPolicy = p;
+        spec.trace = &w.trace;
+        spec.bitmaps = &bitmaps;
+        specs.push_back(std::move(spec));
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
+
+    for (std::size_t i = 0; i < std::size(policies); ++i) {
+        const RunResult& r = results[i];
+        bench::printRow({segmentPolicyName(policies[i]),
                          bench::fmt(toSeconds(r.ioTime)),
                          bench::fmtPct(r.cacheHitRate)},
                         widths);
@@ -56,12 +78,9 @@ main()
     // The block-based pool's MRU vs LRU, for comparison (Section 4
     // argues MRU fits the no-temporal-locality controller cache).
     std::printf("\nblock-pool policy (FOR):\n");
-    for (BlockPolicy p : {BlockPolicy::MRU, BlockPolicy::LRU}) {
-        SystemConfig cfg = base;
-        cfg.blockPolicy = p;
-        const RunResult r = bench::runSystem(SystemKind::FOR, 0, cfg,
-                                             w.trace, bitmaps);
-        bench::printRow({blockPolicyName(p),
+    for (std::size_t i = 0; i < std::size(block_policies); ++i) {
+        const RunResult& r = results[std::size(policies) + i];
+        bench::printRow({blockPolicyName(block_policies[i]),
                          bench::fmt(toSeconds(r.ioTime)),
                          bench::fmtPct(r.cacheHitRate)},
                         widths);

@@ -23,34 +23,51 @@ main()
                      "gain"},
                     widths);
 
-    for (std::uint64_t seg_kb : {128, 256, 512}) {
-        SystemConfig base;
+    const std::uint64_t seg_kbs[] = {128, 256, 512};
+    const std::size_t n = std::size(seg_kbs);
+    std::vector<SystemConfig> bases(n);
+    std::vector<SyntheticWorkload> workloads;
+    std::vector<std::vector<LayoutBitmap>> bitmaps(n);
+    workloads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        SystemConfig& base = bases[i];
         base.streams = 128;
         base.workers = 64;
         base.stripeUnitBytes = 128 * kKiB;
-        base.disk.segmentBytes = seg_kb * kKiB;
+        base.disk.segmentBytes = seg_kbs[i] * kKiB;
 
         SyntheticParams sp;
         sp.fileSizeBytes = 16 * kKiB;
         sp.numRequests = 10000;
-        SyntheticWorkload w = makeSynthetic(
-            sp, base.disks * base.disk.totalBlocks());
+        workloads.push_back(makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks()));
 
         StripingMap striping(base.disks,
                              base.stripeUnitBytes /
                                  base.disk.blockSize,
                              base.disk.totalBlocks());
-        const std::vector<LayoutBitmap> bitmaps =
-            w.image->buildBitmaps(striping);
+        bitmaps[i] = workloads[i].image->buildBitmaps(striping);
+    }
 
-        const RunResult segm = bench::runSystem(
-            SystemKind::Segm, 0, base, w.trace, bitmaps);
-        const RunResult forr = bench::runSystem(
-            SystemKind::FOR, 0, base, w.trace, bitmaps);
+    std::vector<bench::SystemSpec> specs;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (SystemKind sys : {SystemKind::Segm, SystemKind::FOR}) {
+            bench::SystemSpec spec;
+            spec.kind = sys;
+            spec.base = bases[i];
+            spec.trace = &workloads[i].trace;
+            spec.bitmaps = &bitmaps[i];
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
 
+    for (std::size_t i = 0; i < n; ++i) {
+        const RunResult& segm = results[i * 2];
+        const RunResult& forr = results[i * 2 + 1];
         bench::printRow(
-            {std::to_string(seg_kb),
-             std::to_string(base.disk.numSegments()),
+            {std::to_string(seg_kbs[i]),
+             std::to_string(bases[i].disk.numSegments()),
              bench::fmt(toSeconds(segm.ioTime)),
              bench::fmt(toSeconds(forr.ioTime)),
              bench::fmtPct(1.0 - static_cast<double>(forr.ioTime) /

@@ -25,29 +25,47 @@ main()
     const std::vector<int> widths{10, 10, 10, 10};
     bench::printRow({"zones", "Segm(s)", "FOR(s)", "gain"}, widths);
 
-    for (unsigned zones : {0u, 4u, 8u, 16u}) {
-        SystemConfig base;
+    const unsigned zone_counts[] = {0u, 4u, 8u, 16u};
+    const std::size_t n = std::size(zone_counts);
+    std::vector<SystemConfig> bases(n);
+    std::vector<SyntheticWorkload> workloads;
+    std::vector<std::vector<LayoutBitmap>> bitmaps(n);
+    workloads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        SystemConfig& base = bases[i];
         base.streams = 128;
         base.workers = 64;
         base.stripeUnitBytes = 128 * kKiB;
-        base.disk.recordingZones = zones;
+        base.disk.recordingZones = zone_counts[i];
 
-        SyntheticWorkload w = makeSynthetic(
-            sp, base.disks * base.disk.totalBlocks());
+        workloads.push_back(makeSynthetic(
+            sp, base.disks * base.disk.totalBlocks()));
         StripingMap striping(base.disks,
                              base.stripeUnitBytes /
                                  base.disk.blockSize,
                              base.disk.totalBlocks());
-        const std::vector<LayoutBitmap> bitmaps =
-            w.image->buildBitmaps(striping);
+        bitmaps[i] = workloads[i].image->buildBitmaps(striping);
+    }
 
-        const RunResult segm = bench::runSystem(
-            SystemKind::Segm, 0, base, w.trace, bitmaps);
-        const RunResult forr = bench::runSystem(
-            SystemKind::FOR, 0, base, w.trace, bitmaps);
+    std::vector<bench::SystemSpec> specs;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (SystemKind sys : {SystemKind::Segm, SystemKind::FOR}) {
+            bench::SystemSpec spec;
+            spec.kind = sys;
+            spec.base = bases[i];
+            spec.trace = &workloads[i].trace;
+            spec.bitmaps = &bitmaps[i];
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<RunResult> results = bench::runSystems(specs);
 
+    for (std::size_t i = 0; i < n; ++i) {
+        const RunResult& segm = results[i * 2];
+        const RunResult& forr = results[i * 2 + 1];
         bench::printRow(
-            {zones == 0 ? "flat" : std::to_string(zones),
+            {zone_counts[i] == 0 ? "flat"
+                                 : std::to_string(zone_counts[i]),
              bench::fmt(toSeconds(segm.ioTime)),
              bench::fmt(toSeconds(forr.ioTime)),
              bench::fmtPct(1.0 - static_cast<double>(forr.ioTime) /

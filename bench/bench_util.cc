@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
+#include <utility>
 
 namespace dtsim {
 namespace bench {
@@ -53,21 +55,43 @@ runSystem(SystemKind kind, std::uint64_t hdc_bytes,
           const SystemConfig& base, const Trace& trace,
           const std::vector<LayoutBitmap>& bitmaps)
 {
-    SystemConfig cfg = base;
-    cfg.kind = kind;
-    cfg.hdcBytesPerDisk = hdc_bytes;
+    SystemSpec spec;
+    spec.kind = kind;
+    spec.hdcBytes = hdc_bytes;
+    spec.base = base;
+    spec.trace = &trace;
+    spec.bitmaps = &bitmaps;
+    return runSystems({spec}).front();
+}
 
-    std::vector<ArrayBlock> pinned;
-    const std::vector<ArrayBlock>* pinned_ptr = nullptr;
-    if (hdc_bytes > 0) {
-        StripingMap striping(cfg.disks,
-                             cfg.stripeUnitBytes / cfg.disk.blockSize,
-                             cfg.disk.totalBlocks());
-        pinned = selectPinnedBlocks(trace, striping,
-                                    hdcBlocksPerDisk(cfg));
-        pinned_ptr = &pinned;
+std::vector<RunResult>
+runSystems(const std::vector<SystemSpec>& specs)
+{
+    std::vector<SweepJob> jobs(specs.size());
+
+    // Pin plans are deterministic, so they are computed up front on
+    // the calling thread; the storage must outlive the sweep.
+    std::vector<std::vector<ArrayBlock>> pin_store(specs.size());
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const SystemSpec& s = specs[i];
+        SweepJob& job = jobs[i];
+        job.cfg = s.base;
+        job.cfg.kind = s.kind;
+        job.cfg.hdcBytesPerDisk = s.hdcBytes;
+        job.trace = s.trace;
+        job.bitmaps = s.bitmaps;
+        if (s.hdcBytes > 0) {
+            StripingMap striping(
+                job.cfg.disks,
+                job.cfg.stripeUnitBytes / job.cfg.disk.blockSize,
+                job.cfg.disk.totalBlocks());
+            pin_store[i] = selectPinnedBlocks(
+                *s.trace, striping, hdcBlocksPerDisk(job.cfg));
+            job.pinned = &pin_store[i];
+        }
     }
-    return runTrace(cfg, trace, &bitmaps, pinned_ptr);
+    return runSweep(jobs);
 }
 
 void
@@ -98,31 +122,46 @@ stripingSweep(const ServerModelParams& params,
     printRow({"unit(KB)", "Segm", "Segm+HDC", "FOR", "FOR+HDC"},
              widths);
 
+    // Build every (unit, system) job up front, then run the whole
+    // figure through the parallel sweep runner in one batch.
     const std::uint64_t units_kb[] = {4, 8, 16, 32, 64, 128, 192, 256};
-    for (std::uint64_t u : units_kb) {
+    const std::size_t n_units = std::size(units_kb);
+    const std::uint64_t hdc = 2 * kMiB;
+
+    std::vector<std::vector<LayoutBitmap>> unit_bitmaps(n_units);
+    std::vector<SystemSpec> specs;
+    specs.reserve(n_units * 4);
+    for (std::size_t i = 0; i < n_units; ++i) {
         SystemConfig cfg = base;
-        cfg.stripeUnitBytes = u * kKiB;
+        cfg.stripeUnitBytes = units_kb[i] * kKiB;
 
         StripingMap striping(cfg.disks,
                              cfg.stripeUnitBytes / cfg.disk.blockSize,
                              cfg.disk.totalBlocks());
-        const std::vector<LayoutBitmap> bitmaps =
-            w.image->buildBitmaps(striping);
+        unit_bitmaps[i] = w.image->buildBitmaps(striping);
 
-        const std::uint64_t hdc = 2 * kMiB;
-        const RunResult segm =
-            runSystem(SystemKind::Segm, 0, cfg, w.trace, bitmaps);
-        const RunResult segm_hdc =
-            runSystem(SystemKind::Segm, hdc, cfg, w.trace, bitmaps);
-        const RunResult forr =
-            runSystem(SystemKind::FOR, 0, cfg, w.trace, bitmaps);
-        const RunResult for_hdc =
-            runSystem(SystemKind::FOR, hdc, cfg, w.trace, bitmaps);
+        const std::pair<SystemKind, std::uint64_t> systems[] = {
+            {SystemKind::Segm, 0}, {SystemKind::Segm, hdc},
+            {SystemKind::FOR, 0}, {SystemKind::FOR, hdc}};
+        for (const auto& [kind, budget] : systems) {
+            SystemSpec spec;
+            spec.kind = kind;
+            spec.hdcBytes = budget;
+            spec.base = cfg;
+            spec.trace = &w.trace;
+            spec.bitmaps = &unit_bitmaps[i];
+            specs.push_back(std::move(spec));
+        }
+    }
 
-        printRow({std::to_string(u), fmt(toSeconds(segm.ioTime)),
-                  fmt(toSeconds(segm_hdc.ioTime)),
-                  fmt(toSeconds(forr.ioTime)),
-                  fmt(toSeconds(for_hdc.ioTime))},
+    const std::vector<RunResult> results = runSystems(specs);
+    for (std::size_t i = 0; i < n_units; ++i) {
+        const RunResult* row = &results[i * 4];
+        printRow({std::to_string(units_kb[i]),
+                  fmt(toSeconds(row[0].ioTime)),
+                  fmt(toSeconds(row[1].ioTime)),
+                  fmt(toSeconds(row[2].ioTime)),
+                  fmt(toSeconds(row[3].ioTime))},
                  widths);
     }
 }
@@ -153,29 +192,52 @@ hdcSweep(const ServerModelParams& params,
               "hitFOR"},
              widths);
 
+    // Batch every feasible (size, system) job into one parallel
+    // sweep, then print the rows in size order.
     const std::uint64_t sizes_kb[] = {0,    256,  512,  1024,
                                       1536, 2048, 2560, 3072};
-    for (std::uint64_t kb : sizes_kb) {
-        const std::uint64_t hdc = kb * kKiB;
+    std::vector<SystemSpec> specs;
+    std::vector<int> for_index(std::size(sizes_kb), -1);
+    for (std::size_t i = 0; i < std::size(sizes_kb); ++i) {
+        const std::uint64_t hdc = sizes_kb[i] * kKiB;
+
+        SystemSpec segm;
+        segm.kind = SystemKind::Segm;
+        segm.hdcBytes = hdc;
+        segm.base = base;
+        segm.trace = &w.trace;
+        segm.bitmaps = &bitmaps;
+        specs.push_back(std::move(segm));
 
         // FOR additionally spends bitmap space; skip infeasible
         // points (the paper's FOR+HDC curve stops early too).
         const std::uint64_t bitmap = base.disk.bitmapBytes();
         const bool for_fits =
             hdc + bitmap + 256 * kKiB <= base.disk.usableCacheBytes();
+        if (for_fits) {
+            SystemSpec forr = specs.back();
+            forr.kind = SystemKind::FOR;
+            for_index[i] = static_cast<int>(specs.size());
+            specs.push_back(std::move(forr));
+        }
+    }
 
-        const RunResult segm =
-            runSystem(SystemKind::Segm, hdc, base, w.trace, bitmaps);
+    const std::vector<RunResult> results = runSystems(specs);
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < std::size(sizes_kb); ++i) {
+        const RunResult& segm = results[next++];
         std::string for_time = "-";
         std::string for_hit = "-";
-        if (for_fits) {
-            const RunResult forr = runSystem(SystemKind::FOR, hdc,
-                                             base, w.trace, bitmaps);
+        if (for_index[i] >= 0) {
+            const RunResult& forr =
+                results[static_cast<std::size_t>(for_index[i])];
             for_time = fmt(toSeconds(forr.ioTime));
             for_hit = fmtPct(forr.hdcHitRate);
+            ++next;
         }
-        printRow({std::to_string(kb), fmt(toSeconds(segm.ioTime)),
-                  for_time, fmtPct(segm.hdcHitRate), for_hit},
+        printRow({std::to_string(sizes_kb[i]),
+                  fmt(toSeconds(segm.ioTime)), for_time,
+                  fmtPct(segm.hdcHitRate), for_hit},
                  widths);
     }
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "core/sweep.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/server_models.hh"
 #include "workload/synthetic.hh"
@@ -46,6 +47,28 @@ std::string fmtPct(double v, int precision = 1);
 RunResult runSystem(SystemKind kind, std::uint64_t hdc_bytes,
                     const SystemConfig& base, const Trace& trace,
                     const std::vector<LayoutBitmap>& bitmaps);
+
+/**
+ * One system variant in a runSystems() batch: `base` with `kind` and
+ * `hdcBytes` applied on top, run over `trace`/`bitmaps` (both must
+ * outlive the call).
+ */
+struct SystemSpec
+{
+    SystemKind kind = SystemKind::Segm;
+    std::uint64_t hdcBytes = 0;
+    SystemConfig base;
+    const Trace* trace = nullptr;
+    const std::vector<LayoutBitmap>* bitmaps = nullptr;
+};
+
+/**
+ * Run a batch of system variants through the parallel sweep runner
+ * (core/sweep.hh), wiring the HDC pin plan per spec like runSystem().
+ * Results come back in spec order and are bit-identical to calling
+ * runSystem() sequentially; thread count follows DTSIM_JOBS.
+ */
+std::vector<RunResult> runSystems(const std::vector<SystemSpec>& specs);
 
 /**
  * A striping-unit sweep over one server workload: reproduces the

@@ -2,15 +2,18 @@
  * @file
  * Capacity-planning example: find the best striping unit for a given
  * workload mix, the decision Figures 7/9/11 inform. Demonstrates
- * sweeping array parameters with the public API.
+ * sweeping array parameters with the public API — the candidate
+ * configurations all run concurrently through runSweep() (thread
+ * count from DTSIM_JOBS).
  *
  * Usage: striping_tuner [avg_file_kb] [streams]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "core/runner.hh"
+#include "core/sweep.hh"
 #include "workload/synthetic.hh"
 
 using namespace dtsim;
@@ -33,34 +36,59 @@ main(int argc, char** argv)
     std::printf("%-10s %-12s %-12s\n", "unit(KB)", "Segm(s)",
                 "FOR(s)");
 
-    std::uint64_t best_unit = 0;
-    double best_time = 1e300;
+    // Build every candidate (unit, system) run, then execute the
+    // whole sweep in parallel.
+    const std::uint64_t units_kb[] = {4, 8, 16, 32, 64, 128, 256};
+    const std::size_t n_units =
+        sizeof(units_kb) / sizeof(units_kb[0]);
 
-    for (std::uint64_t unit_kb : {4, 8, 16, 32, 64, 128, 256}) {
-        SystemConfig cfg;
-        cfg.streams = streams;
-        cfg.stripeUnitBytes = unit_kb * kKiB;
+    // The workload is independent of the striping unit, so one trace
+    // serves every candidate; only the FOR bitmaps vary per unit.
+    SystemConfig proto;
+    proto.streams = streams;
+    SyntheticWorkload w = makeSynthetic(
+        wp, proto.disks * proto.disk.totalBlocks());
 
-        SyntheticWorkload w = makeSynthetic(
-            wp, cfg.disks * cfg.disk.totalBlocks());
+    std::vector<std::vector<LayoutBitmap>> bitmaps(n_units);
+    std::vector<SweepJob> jobs;
+    for (std::size_t i = 0; i < n_units; ++i) {
+        SystemConfig cfg = proto;
+        cfg.stripeUnitBytes = units_kb[i] * kKiB;
+
         StripingMap striping(cfg.disks,
                              cfg.stripeUnitBytes / cfg.disk.blockSize,
                              cfg.disk.totalBlocks());
-        std::vector<LayoutBitmap> bitmaps =
-            w.image->buildBitmaps(striping);
+        bitmaps[i] = w.image->buildBitmaps(striping);
 
-        cfg.kind = SystemKind::Segm;
-        const RunResult segm = runTrace(cfg, w.trace);
-        cfg.kind = SystemKind::FOR;
-        const RunResult forr = runTrace(cfg, w.trace, &bitmaps);
+        SweepJob segm;
+        segm.cfg = cfg;
+        segm.cfg.kind = SystemKind::Segm;
+        segm.trace = &w.trace;
+        jobs.push_back(std::move(segm));
+
+        SweepJob forr;
+        forr.cfg = cfg;
+        forr.cfg.kind = SystemKind::FOR;
+        forr.trace = &w.trace;
+        forr.bitmaps = &bitmaps[i];
+        jobs.push_back(std::move(forr));
+    }
+
+    const std::vector<RunResult> results = runSweep(jobs);
+
+    std::uint64_t best_unit = 0;
+    double best_time = 1e300;
+    for (std::size_t i = 0; i < n_units; ++i) {
+        const RunResult& segm = results[i * 2];
+        const RunResult& forr = results[i * 2 + 1];
 
         std::printf("%-10llu %-12.3f %-12.3f\n",
-                    static_cast<unsigned long long>(unit_kb),
+                    static_cast<unsigned long long>(units_kb[i]),
                     toSeconds(segm.ioTime), toSeconds(forr.ioTime));
 
         if (toSeconds(forr.ioTime) < best_time) {
             best_time = toSeconds(forr.ioTime);
-            best_unit = unit_kb;
+            best_unit = units_kb[i];
         }
     }
 

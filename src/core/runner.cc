@@ -58,6 +58,7 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     RunResult res;
     res.ioTime = io_time;
     res.flushTime = flush_time;
+    res.elapsed = io_time + flush_time;
     res.requests = engine.metrics().requests;
     res.blocks = engine.metrics().blocks;
     res.meanLatencyMs = engine.metrics().meanLatencyMs();
@@ -79,19 +80,21 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
 
     if (io_time > 0) {
         // The busy time may include end-of-run HDC flush work, so
-        // utilization is taken over the full elapsed time.
-        const Tick elapsed = io_time + flush_time;
+        // utilization is taken over the full elapsed time (see the
+        // RunResult field docs for the denominator conventions).
         double util = 0.0;
         for (unsigned d = 0; d < array.disks(); ++d) {
             util += static_cast<double>(
                         array.controller(d).stats().mediaBusy) /
-                    static_cast<double>(elapsed);
+                    static_cast<double>(res.elapsed);
         }
         res.diskUtilization = util / array.disks();
 
         const double bytes = static_cast<double>(res.blocks) *
                              cfg.disk.blockSize;
         res.throughputMBps = bytes / toSeconds(io_time) / 1.0e6;
+        res.throughputElapsedMBps =
+            bytes / toSeconds(res.elapsed) / 1.0e6;
     }
 
     return res;

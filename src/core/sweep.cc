@@ -1,0 +1,73 @@
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace dtsim {
+
+unsigned
+sweepJobs()
+{
+    if (const char* env = std::getenv("DTSIM_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob>& jobs, unsigned threads)
+{
+    std::vector<RunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    if (threads == 0)
+        threads = sweepJobs();
+    if (threads > jobs.size())
+        threads = static_cast<unsigned>(jobs.size());
+
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    // Workers claim jobs off a shared index; each job only reads its
+    // shared inputs and writes its own result slot.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const SweepJob& job = jobs[i];
+            try {
+                results[i] = runTrace(job.cfg, *job.trace,
+                                      job.bitmaps, job.pinned);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
+    }
+
+    for (const std::exception_ptr& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+} // namespace dtsim

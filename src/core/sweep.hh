@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parallel sweep runner: execute a batch of independent runTrace()
+ * experiments across a thread pool.
+ *
+ * Every paper figure is a sweep of runs that differ only in their
+ * SystemConfig (striping unit, HDC budget, system kind, ...). Each
+ * run owns its own EventQueue and DiskArray and only reads the shared
+ * Trace/bitmap/pin inputs, so running jobs concurrently is safe and
+ * the results are bit-identical to executing them one by one.
+ */
+
+#ifndef DTSIM_CORE_SWEEP_HH
+#define DTSIM_CORE_SWEEP_HH
+
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace dtsim {
+
+/** One independent experiment in a sweep. */
+struct SweepJob
+{
+    SystemConfig cfg;
+
+    /** Trace to replay; must outlive runSweep(). */
+    const Trace* trace = nullptr;
+
+    /**
+     * Per-disk FOR bitmaps (required when cfg.kind is FOR, ignored
+     * otherwise); must outlive runSweep().
+     */
+    const std::vector<LayoutBitmap>* bitmaps = nullptr;
+
+    /** HDC warm-start pin set; must outlive runSweep(). */
+    const std::vector<ArrayBlock>* pinned = nullptr;
+};
+
+/**
+ * The sweep thread count: DTSIM_JOBS when set to a positive integer,
+ * otherwise std::thread::hardware_concurrency() (minimum 1).
+ */
+unsigned sweepJobs();
+
+/**
+ * Run every job and return results in job order.
+ *
+ * Jobs are dispatched to a pool of `threads` worker threads (0 means
+ * sweepJobs()). Each job is fully independent, so results are
+ * bit-identical regardless of the thread count; with one thread the
+ * jobs run inline on the calling thread.
+ *
+ * If a job throws (e.g. a misconfigured system), the first exception
+ * in job order is rethrown on the calling thread after all workers
+ * finish.
+ */
+std::vector<RunResult> runSweep(const std::vector<SweepJob>& jobs,
+                                unsigned threads = 0);
+
+} // namespace dtsim
+
+#endif // DTSIM_CORE_SWEEP_HH

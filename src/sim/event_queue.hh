@@ -13,8 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -27,13 +25,27 @@ namespace dtsim {
  * Components schedule std::function callbacks at absolute or relative
  * ticks; run() pops events in (tick, insertion-order) order until the
  * queue drains or a limit is reached.
+ *
+ * Internals (see DESIGN.md, "Event kernel"): scheduled callbacks live
+ * in a pooled slot array that is reused across events, so steady-state
+ * scheduling performs no per-event container allocation. The ready
+ * order is kept in a 4-ary array heap of plain (tick, seq, slot)
+ * nodes — callbacks are never moved during sift operations. An
+ * EventId encodes (generation << 32) | slot; cancel() is an O(1)
+ * tombstone flag validated against the slot's current generation, and
+ * tombstoned nodes are dropped lazily when they reach the heap front.
  */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
 
-    /** Opaque handle identifying a scheduled event (for cancellation). */
+    /**
+     * Opaque handle identifying a scheduled event (for cancellation).
+     * Encodes a pool slot plus a generation tag so a handle from a
+     * fired or cancelled event can never alias a later event that
+     * reuses the same slot.
+     */
     using EventId = std::uint64_t;
 
     EventQueue() = default;
@@ -93,23 +105,42 @@ class EventQueue
     std::uint64_t fired() const { return fired_; }
 
   private:
-    struct Entry
+    /** Pooled storage for one scheduled callback. */
+    struct Slot
     {
-        Tick when;
-        EventId id;
         Callback cb;
+
+        /** Bumped on release; stale EventIds fail the tag check. */
+        std::uint32_t gen = 0;
+
+        bool live = false;
+        bool cancelled = false;
     };
 
-    struct Later
+    /** One heap node: plain data, cheap to move during sifts. */
+    struct Node
     {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
-        }
+        Tick when;
+
+        /** Global schedule order; ties at `when` fire in seq order. */
+        std::uint64_t seq;
+
+        std::uint32_t slot;
     };
+
+    static bool
+    before(const Node& a, const Node& b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    std::uint32_t allocSlot(Callback cb);
+    void releaseSlot(std::uint32_t index);
+
+    void heapPush(Node node);
+    void heapPopFront();
 
     /**
      * Drop cancelled entries off the heap front.
@@ -120,11 +151,14 @@ class EventQueue
     /** Pop and fire the front event. Requires a live front event. */
     void fireNext();
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> pending_;
-    std::unordered_set<EventId> cancelled_;
+    /** 4-ary min-heap ordered by (when, seq). */
+    std::vector<Node> heap_;
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+
     Tick now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::size_t size_ = 0;
     std::uint64_t fired_ = 0;
 };

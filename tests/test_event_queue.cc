@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -159,6 +160,108 @@ TEST(EventQueue, FiredCounterAccumulates)
         eq.scheduleAt(static_cast<Tick>(i), [] {});
     eq.run();
     EXPECT_EQ(eq.fired(), 7u);
+}
+
+TEST(EventQueue, IdsNotReusedAcrossGenerations)
+{
+    // A fired (or cancelled) event's slot is recycled for later
+    // events, but the generation tag must keep the old handle dead:
+    // cancelling a stale id can never hit the slot's new occupant.
+    EventQueue eq;
+    const auto first = eq.scheduleAt(10, [] {});
+    eq.run();
+
+    bool fired = false;
+    const auto second = eq.scheduleAt(20, [&] { fired = true; });
+    EXPECT_NE(first, second);
+    EXPECT_FALSE(eq.cancel(first));
+    eq.run();
+    EXPECT_TRUE(fired);
+
+    // Same via the cancel path: a cancelled id stays dead after its
+    // slot is reused.
+    const auto third = eq.scheduleAt(30, [] {});
+    EXPECT_TRUE(eq.cancel(third));
+    eq.run();
+    bool fourth_fired = false;
+    const auto fourth = eq.scheduleAt(40, [&] {
+        fourth_fired = true;
+    });
+    EXPECT_NE(third, fourth);
+    EXPECT_FALSE(eq.cancel(third));
+    eq.run();
+    EXPECT_TRUE(fourth_fired);
+}
+
+TEST(EventQueue, InterleavedScheduleCancelChurn)
+{
+    // Heavy schedule/cancel interleaving: every third event is
+    // cancelled, some before and some after intervening fires, and
+    // the survivors must fire exactly once in order.
+    EventQueue eq;
+    std::vector<int> fired;
+    std::vector<EventQueue::EventId> ids;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            const int tag = round * 20 + i;
+            ids.push_back(eq.scheduleAfter(
+                static_cast<Tick>(1 + (tag * 31) % 97),
+                [&fired, tag] { fired.push_back(tag); }));
+        }
+        for (std::size_t k = ids.size() - 20; k < ids.size();
+             k += 3) {
+            EXPECT_TRUE(eq.cancel(ids[k]));
+            EXPECT_FALSE(eq.cancel(ids[k]));
+        }
+        eq.run(5);
+    }
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+
+    // 7 of every 20 scheduled events are cancelled (indices 0,3,..18
+    // within each round's batch)...
+    EXPECT_EQ(fired.size(), 50u * 20u - 50u * 7u);
+    // ...and no event fires twice.
+    std::vector<int> sorted = fired;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+}
+
+TEST(EventQueue, DeterministicFireOrderUnderChurn)
+{
+    // The kernel contract: identical schedule/cancel sequences give
+    // identical fire order, including (tick, insertion-order) ties.
+    auto run_once = [] {
+        EventQueue eq;
+        std::vector<int> order;
+        std::vector<EventQueue::EventId> ids;
+        for (int i = 0; i < 500; ++i) {
+            const Tick when = static_cast<Tick>((i * 7919) % 50);
+            ids.push_back(eq.scheduleAt(
+                when, [&order, i] { order.push_back(i); }));
+            if (i % 5 == 2)
+                eq.cancel(ids[static_cast<std::size_t>(i) / 2]);
+        }
+        eq.run();
+        return order;
+    };
+    const std::vector<int> a = run_once();
+    const std::vector<int> b = run_once();
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(EventQueue, CancelFromInsideCallback)
+{
+    // A callback cancelling a later event already in the heap.
+    EventQueue eq;
+    bool late_fired = false;
+    const auto late = eq.scheduleAt(100, [&] { late_fired = true; });
+    eq.scheduleAt(50, [&] { EXPECT_TRUE(eq.cancel(late)); });
+    eq.run();
+    EXPECT_FALSE(late_fired);
+    EXPECT_EQ(eq.now(), 50u);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

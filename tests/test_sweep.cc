@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: runSweep() must return results
+ * bit-identical to sequential runTrace() calls, at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "hdc/hdc_planner.hh"
+#include "workload/server_models.hh"
+
+namespace dtsim {
+namespace {
+
+/** Every counter in RunResult must match exactly. */
+void
+expectIdentical(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.ioTime, b.ioTime);
+    EXPECT_EQ(a.flushTime, b.flushTime);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.blocks, b.blocks);
+    EXPECT_EQ(a.hdcHitRate, b.hdcHitRate);
+    EXPECT_EQ(a.cacheHitRate, b.cacheHitRate);
+    EXPECT_EQ(a.diskUtilization, b.diskUtilization);
+    EXPECT_EQ(a.throughputMBps, b.throughputMBps);
+    EXPECT_EQ(a.throughputElapsedMBps, b.throughputElapsedMBps);
+    EXPECT_EQ(a.meanLatencyMs, b.meanLatencyMs);
+    EXPECT_EQ(a.victimPins, b.victimPins);
+    EXPECT_EQ(a.victimUnpins, b.victimUnpins);
+
+    EXPECT_EQ(a.agg.reads, b.agg.reads);
+    EXPECT_EQ(a.agg.writes, b.agg.writes);
+    EXPECT_EQ(a.agg.readBlocks, b.agg.readBlocks);
+    EXPECT_EQ(a.agg.writeBlocks, b.agg.writeBlocks);
+    EXPECT_EQ(a.agg.cacheHitRequests, b.agg.cacheHitRequests);
+    EXPECT_EQ(a.agg.hdcHitRequests, b.agg.hdcHitRequests);
+    EXPECT_EQ(a.agg.hdcHitBlocks, b.agg.hdcHitBlocks);
+    EXPECT_EQ(a.agg.raHitBlocks, b.agg.raHitBlocks);
+    EXPECT_EQ(a.agg.mediaAccesses, b.agg.mediaAccesses);
+    EXPECT_EQ(a.agg.mediaBlocks, b.agg.mediaBlocks);
+    EXPECT_EQ(a.agg.readAheadBlocks, b.agg.readAheadBlocks);
+    EXPECT_EQ(a.agg.flushWrites, b.agg.flushWrites);
+    EXPECT_EQ(a.agg.flushBlocks, b.agg.flushBlocks);
+    EXPECT_EQ(a.agg.seekTime, b.agg.seekTime);
+    EXPECT_EQ(a.agg.rotTime, b.agg.rotTime);
+    EXPECT_EQ(a.agg.xferTime, b.agg.xferTime);
+    EXPECT_EQ(a.agg.mediaBusy, b.agg.mediaBusy);
+}
+
+/** A small Web-server workload plus jobs across striping/HDC/kind. */
+class SweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SystemConfig proto;
+        ServerModelParams params = webServerParams(0.01);
+        params.streams = 32;
+        workload_ = makeServerWorkload(
+            params, proto.disks * proto.disk.totalBlocks());
+
+        const std::uint64_t units_kb[] = {16, 64, 128};
+        bitmaps_.resize(std::size(units_kb));
+        for (std::size_t i = 0; i < std::size(units_kb); ++i) {
+            SystemConfig cfg = proto;
+            cfg.streams = params.streams;
+            cfg.stripeUnitBytes = units_kb[i] * kKiB;
+
+            StripingMap striping(
+                cfg.disks, cfg.stripeUnitBytes / cfg.disk.blockSize,
+                cfg.disk.totalBlocks());
+            bitmaps_[i] =
+                workload_.image->buildBitmaps(striping);
+
+            SweepJob segm;
+            segm.cfg = cfg;
+            segm.cfg.kind = SystemKind::Segm;
+            segm.trace = &workload_.trace;
+            jobs_.push_back(std::move(segm));
+
+            SweepJob forr;
+            forr.cfg = cfg;
+            forr.cfg.kind = SystemKind::FOR;
+            forr.trace = &workload_.trace;
+            forr.bitmaps = &bitmaps_[i];
+            jobs_.push_back(std::move(forr));
+        }
+
+        // One HDC job so pin-plan wiring is covered too.
+        StripingMap striping(
+            proto.disks,
+            proto.stripeUnitBytes / proto.disk.blockSize,
+            proto.disk.totalBlocks());
+        SweepJob hdc;
+        hdc.cfg = proto;
+        hdc.cfg.streams = params.streams;
+        hdc.cfg.hdcBytesPerDisk = 1 * kMiB;
+        hdc.trace = &workload_.trace;
+        pinned_ = selectPinnedBlocks(
+            workload_.trace, striping,
+            hdcBlocksPerDisk(hdc.cfg));
+        hdc.pinned = &pinned_;
+        jobs_.push_back(std::move(hdc));
+    }
+
+    ServerWorkload workload_;
+    std::vector<std::vector<LayoutBitmap>> bitmaps_;
+    std::vector<ArrayBlock> pinned_;
+    std::vector<SweepJob> jobs_;
+};
+
+TEST_F(SweepTest, SingleThreadMatchesSequentialRunTrace)
+{
+    std::vector<RunResult> sequential;
+    for (const SweepJob& job : jobs_) {
+        sequential.push_back(runTrace(job.cfg, *job.trace,
+                                      job.bitmaps, job.pinned));
+    }
+
+    const std::vector<RunResult> swept = runSweep(jobs_, 1);
+    ASSERT_EQ(swept.size(), sequential.size());
+    for (std::size_t i = 0; i < swept.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectIdentical(swept[i], sequential[i]);
+    }
+}
+
+TEST_F(SweepTest, MultiThreadIsBitIdenticalToSequential)
+{
+    std::vector<RunResult> sequential;
+    for (const SweepJob& job : jobs_) {
+        sequential.push_back(runTrace(job.cfg, *job.trace,
+                                      job.bitmaps, job.pinned));
+    }
+
+    for (unsigned threads : {2u, 4u, 7u}) {
+        const std::vector<RunResult> swept =
+            runSweep(jobs_, threads);
+        ASSERT_EQ(swept.size(), sequential.size());
+        for (std::size_t i = 0; i < swept.size(); ++i) {
+            SCOPED_TRACE(::testing::Message()
+                         << "threads=" << threads << " job=" << i);
+            expectIdentical(swept[i], sequential[i]);
+        }
+    }
+}
+
+TEST(Sweep, EmptyAndThreadCountEdgeCases)
+{
+    EXPECT_TRUE(runSweep({}, 0).empty());
+    EXPECT_TRUE(runSweep({}, 16).empty());
+}
+
+TEST(Sweep, JobsEnvOverridesThreadCount)
+{
+    setenv("DTSIM_JOBS", "3", 1);
+    EXPECT_EQ(sweepJobs(), 3u);
+    setenv("DTSIM_JOBS", "0", 1);
+    EXPECT_GE(sweepJobs(), 1u);
+    unsetenv("DTSIM_JOBS");
+    EXPECT_GE(sweepJobs(), 1u);
+}
+
+} // namespace
+} // namespace dtsim

@@ -9,6 +9,7 @@
  *   dtsim_cli --workload web --scale 0.05 --system segm --hdc-kb 2048
  *   dtsim_cli --workload synthetic --save-trace /tmp/t.txt
  *   dtsim_cli --load-trace /tmp/t.txt --system nora
+ *   dtsim_cli --workload web --system all --jobs 4
  */
 
 #include <cstdio>
@@ -18,7 +19,7 @@
 #include <string>
 
 #include "core/report.hh"
-#include "core/runner.hh"
+#include "core/sweep.hh"
 #include "hdc/hdc_planner.hh"
 #include "sim/logging.hh"
 #include "workload/server_models.hh"
@@ -44,7 +45,11 @@ usage()
         "  --load-trace PATH   replay a saved trace instead\n"
         "  --save-trace PATH   save the generated trace and exit\n"
         "system:\n"
-        "  --system segm|block|nora|for          (default segm)\n"
+        "  --system segm|block|nora|for|all      (default segm;\n"
+        "                      'all' compares every system in one\n"
+        "                      parallel sweep)\n"
+        "  --jobs N            sweep threads for --system all\n"
+        "                      (default DTSIM_JOBS, else all cores)\n"
         "  --hdc-kb N          per-disk HDC budget (default 0)\n"
         "  --hdc-policy pinned|victim            (default pinned)\n"
         "  --disks N           array size (default 8)\n"
@@ -103,6 +108,8 @@ main(int argc, char** argv)
     SyntheticParams sp;
     double scale = 0.05;
     std::string hdc_policy = "pinned";
+    bool all_systems = false;
+    unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -111,6 +118,9 @@ main(int argc, char** argv)
             return 0;
         } else if (a == "--workload") {
             workload = arg(argc, argv, i);
+        } else if (a == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::atoi(arg(argc, argv, i)));
         } else if (a == "--requests") {
             sp.numRequests = std::strtoull(arg(argc, argv, i),
                                            nullptr, 10);
@@ -129,7 +139,11 @@ main(int argc, char** argv)
         } else if (a == "--save-trace") {
             save_trace = arg(argc, argv, i);
         } else if (a == "--system") {
-            cfg.kind = parseKind(arg(argc, argv, i));
+            const std::string kind = arg(argc, argv, i);
+            if (kind == "all")
+                all_systems = true;
+            else
+                cfg.kind = parseKind(kind);
         } else if (a == "--hdc-kb") {
             cfg.hdcBytesPerDisk =
                 std::strtoull(arg(argc, argv, i), nullptr, 10) *
@@ -179,7 +193,7 @@ main(int argc, char** argv)
         trace = loadTrace(load_trace);
         std::printf("loaded %zu records from %s\n", trace.size(),
                     load_trace.c_str());
-        if (cfg.kind == SystemKind::FOR)
+        if (cfg.kind == SystemKind::FOR || all_systems)
             fatal("FOR needs a file-system image; loaded traces "
                   "carry none (use --workload instead)");
     } else if (workload == "synthetic") {
@@ -231,6 +245,39 @@ main(int argc, char** argv)
         pinned = selectPinnedBlocks(trace, striping,
                                     hdcBlocksPerDisk(cfg));
         pp = &pinned;
+    }
+
+    if (all_systems) {
+        // One job per system kind, executed as a parallel sweep.
+        const SystemKind kinds[] = {SystemKind::Segm,
+                                    SystemKind::Block,
+                                    SystemKind::NoRA,
+                                    SystemKind::FOR};
+        std::vector<SweepJob> sweep;
+        for (SystemKind k : kinds) {
+            SweepJob job;
+            job.cfg = cfg;
+            job.cfg.kind = k;
+            job.trace = &trace;
+            job.bitmaps = bitmaps.empty() ? nullptr : &bitmaps;
+            job.pinned = pp;
+            sweep.push_back(std::move(job));
+        }
+        const std::vector<RunResult> results = runSweep(sweep, jobs);
+
+        std::printf("\n%-8s %-10s %-10s %-8s %-10s %-10s\n",
+                    "system", "io(s)", "MB/s", "util", "cache-hit",
+                    "lat(ms)");
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            const RunResult& r = results[i];
+            std::printf("%-8s %-10.3f %-10.2f %-8.3f %-10.3f "
+                        "%-10.3f\n",
+                        systemKindName(kinds[i]),
+                        toSeconds(r.ioTime), r.throughputMBps,
+                        r.diskUtilization, r.cacheHitRate,
+                        r.meanLatencyMs);
+        }
+        return 0;
     }
 
     const RunResult r = runTrace(
