@@ -81,6 +81,7 @@ runSystems(const std::vector<SystemSpec>& specs)
         job.cfg.hdcBytesPerDisk = s.hdcBytes;
         job.trace = s.trace;
         job.bitmaps = s.bitmaps;
+        job.opts = s.opts;
         if (s.hdcBytes > 0) {
             StripingMap striping(
                 job.cfg.disks,

@@ -60,6 +60,13 @@ struct SystemSpec
     SystemConfig base;
     const Trace* trace = nullptr;
     const std::vector<LayoutBitmap>* bitmaps = nullptr;
+
+    /**
+     * Observability options forwarded to runTrace() (off by
+     * default). Give each spec its own output paths; see
+     * core/sweep.hh for the thread-safety expectations.
+     */
+    RunOptions opts;
 };
 
 /**

@@ -25,6 +25,7 @@
 #include "bench/bench_util.hh"
 #include "core/sweep.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "workload/synthetic.hh"
 
 using namespace dtsim;
@@ -265,10 +266,8 @@ main()
     for (std::size_t i = 0; i < serial.size(); ++i) {
         if (serial[i].ioTime != parallel[i].ioTime ||
             serial[i].agg.reads != parallel[i].agg.reads) {
-            std::fprintf(stderr,
-                         "FATAL: job %zu differs between serial and "
-                         "parallel execution\n",
-                         i);
+            warn("job %zu differs between serial and parallel"
+                 " execution", i);
             return 1;
         }
     }
@@ -286,7 +285,7 @@ main()
         out_env ? out_env : "BENCH_kernel.json";
     FILE* f = std::fopen(out.c_str(), "w");
     if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        warn("cannot write %s", out.c_str());
         return 1;
     }
     std::fprintf(f,

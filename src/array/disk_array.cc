@@ -177,8 +177,57 @@ DiskArray::aggregateStats() const
         total.rotTime += s.rotTime;
         total.xferTime += s.xferTime;
         total.mediaBusy += s.mediaBusy;
+        total.queueTime += s.queueTime;
+        total.busTime += s.busTime;
+        total.latencySum += s.latencySum;
+        total.latencyMax = std::max(total.latencyMax, s.latencyMax);
     }
     return total;
+}
+
+RaCounters
+DiskArray::aggregateRaCounters() const
+{
+    RaCounters total;
+    for (const auto& c : ctrls_) {
+        const RaCounters& r = c->raCounters();
+        total.specInserted += r.specInserted;
+        total.specUsed += r.specUsed;
+        total.specWasted += r.specWasted;
+    }
+    return total;
+}
+
+void
+DiskArray::setServiceStats(stats::ServiceStats* svc)
+{
+    for (auto& c : ctrls_)
+        c->setServiceStats(svc);
+}
+
+void
+DiskArray::setTracer(RequestTracer* tracer)
+{
+    for (auto& c : ctrls_)
+        c->setTracer(tracer);
+}
+
+void
+DiskArray::exportStats(stats::StatGroup& parent) const
+{
+    using stats::Scalar;
+    stats::StatGroup& bg = parent.makeGroup("bus");
+    bg.make<Scalar>("busy_ms", "total bus busy time")
+        .set(toMillis(bus_.busyTime()));
+    bg.make<Scalar>("tenures", "completed bus tenures")
+        .set(static_cast<double>(bus_.tenures()));
+    bg.make<Scalar>("bytes", "payload bytes moved across the bus")
+        .set(static_cast<double>(bus_.bytesTransferred()));
+    bg.make<Scalar>("utilization", "bus busy fraction of elapsed time")
+        .set(bus_.utilization(eq_.now()));
+
+    for (const auto& c : ctrls_)
+        c->exportStats(parent);
 }
 
 } // namespace dtsim

@@ -106,6 +106,21 @@ class DiskArray
     /** Sum of a statistic over all controllers. */
     ControllerStats aggregateStats() const;
 
+    /** Summed read-ahead accuracy counters over all controllers. */
+    RaCounters aggregateRaCounters() const;
+
+    /** Attach the shared histogram bundle to every controller. */
+    void setServiceStats(stats::ServiceStats* svc);
+
+    /** Attach the request tracer to every controller. */
+    void setTracer(RequestTracer* tracer);
+
+    /**
+     * Export a snapshot of bus and per-disk counters as owned child
+     * groups of `parent` (see docs/METRICS.md).
+     */
+    void exportStats(stats::StatGroup& parent) const;
+
     /** Requests still in flight. */
     std::uint64_t outstanding() const { return outstanding_; }
 

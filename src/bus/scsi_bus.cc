@@ -28,6 +28,7 @@ ScsiBus::transfer(Tick earliest, std::uint64_t bytes)
     busyUntil_ = start + dur;
     busyTime_ += dur;
     ++tenures_;
+    bytes_ += bytes;
     return busyUntil_;
 }
 

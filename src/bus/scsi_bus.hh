@@ -52,12 +52,16 @@ class ScsiBus
     /** Completed tenures. */
     std::uint64_t tenures() const { return tenures_; }
 
+    /** Total payload bytes moved across the bus. */
+    std::uint64_t bytesTransferred() const { return bytes_; }
+
   private:
     double rate_;
     Tick arbitration_;
     Tick busyUntil_ = 0;
     Tick busyTime_ = 0;
     std::uint64_t tenures_ = 0;
+    std::uint64_t bytes_ = 0;
 };
 
 } // namespace dtsim

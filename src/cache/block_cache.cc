@@ -37,12 +37,16 @@ BlockCache::lookupPrefix(BlockNum start, std::uint64_t count)
             break;
         // Mark as consumed: move to the front of the used list.
         Where& w = it->second;
+        if (w.it->spec) {
+            w.it->spec = false;
+            ++ra_.specUsed;
+        }
         if (w.inUsed) {
             used_.splice(used_.begin(), used_, w.it);
         } else {
             const BlockNum b = w.it->block;
             unused_.erase(w.it);
-            used_.push_front(Node{b, true});
+            used_.push_front(Node{b, true, false});
             w.it = used_.begin();
             w.inUsed = true;
         }
@@ -64,6 +68,8 @@ BlockCache::evictOne()
             map_.erase(b);
             return;
         }
+        if (unused_.front().spec)
+            ++ra_.specWasted;
         const BlockNum b = unused_.front().block;
         unused_.pop_front();
         map_.erase(b);
@@ -78,13 +84,16 @@ BlockCache::evictOne()
         map_.erase(b);
         return;
     }
+    if (unused_.front().spec)
+        ++ra_.specWasted;
     const BlockNum b = unused_.front().block;
     unused_.pop_front();
     map_.erase(b);
 }
 
 void
-BlockCache::insertRun(BlockNum start, std::uint64_t count)
+BlockCache::insertRun(BlockNum start, std::uint64_t count,
+                      std::uint64_t spec_offset)
 {
     for (std::uint64_t i = 0; i < count; ++i) {
         const BlockNum b = start + i;
@@ -93,7 +102,10 @@ BlockCache::insertRun(BlockNum start, std::uint64_t count)
             continue;   // Already cached; keep its state.
         if (map_.size() >= capacity_)
             evictOne();
-        unused_.push_back(Node{b, false});
+        const bool spec = i >= spec_offset;
+        if (spec)
+            ++ra_.specInserted;
+        unused_.push_back(Node{b, false, spec});
         auto nit = unused_.end();
         --nit;
         map_.emplace(b, Where{nit, false});
@@ -107,6 +119,8 @@ BlockCache::eraseBlock(BlockNum block)
     if (it == map_.end())
         return;
     Where& w = it->second;
+    if (w.it->spec)
+        ++ra_.specWasted;
     if (w.inUsed)
         used_.erase(w.it);
     else

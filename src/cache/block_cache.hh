@@ -43,7 +43,9 @@ class BlockCache : public ControllerCache
     std::uint64_t lookupPrefix(BlockNum start,
                                std::uint64_t count) override;
     bool contains(BlockNum block) const override;
-    void insertRun(BlockNum start, std::uint64_t count) override;
+    using ControllerCache::insertRun;
+    void insertRun(BlockNum start, std::uint64_t count,
+                   std::uint64_t spec_offset) override;
     void invalidateRange(BlockNum start, std::uint64_t count) override;
 
     std::uint64_t
@@ -71,6 +73,7 @@ class BlockCache : public ControllerCache
     {
         BlockNum block;
         bool used;
+        bool spec;  ///< read ahead speculatively, not yet consumed
     };
 
     using List = std::list<Node>;

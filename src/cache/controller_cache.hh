@@ -19,6 +19,29 @@
 namespace dtsim {
 
 /**
+ * Read-ahead accuracy accounting, maintained by every controller
+ * cache. A block inserted beyond the demand portion of a media access
+ * is *speculative*; it counts as used the first time the host consumes
+ * it and as wasted if it is evicted or invalidated while still
+ * unconsumed. used/inserted is the paper's read-ahead accuracy.
+ */
+struct RaCounters
+{
+    std::uint64_t specInserted = 0;  ///< speculative blocks cached
+    std::uint64_t specUsed = 0;      ///< later consumed by the host
+    std::uint64_t specWasted = 0;    ///< dropped without being used
+
+    /** Fraction of speculative blocks the host eventually consumed. */
+    double
+    accuracy() const
+    {
+        return specInserted ? static_cast<double>(specUsed) /
+                                  static_cast<double>(specInserted)
+                            : 0.0;
+    }
+};
+
+/**
  * Read-ahead cache interface.
  *
  * The controller looks up the *prefix* of a request that is cached
@@ -43,8 +66,20 @@ class ControllerCache
     /** True if a single block is present (no recency update). */
     virtual bool contains(BlockNum block) const = 0;
 
-    /** Insert a contiguous run just read from the media. */
-    virtual void insertRun(BlockNum start, std::uint64_t count) = 0;
+    /**
+     * Insert a contiguous run just read from the media. Blocks at
+     * offset >= `spec_offset` from `start` were read ahead
+     * speculatively (not demanded by the host) and feed the
+     * read-ahead accuracy counters.
+     */
+    virtual void insertRun(BlockNum start, std::uint64_t count,
+                           std::uint64_t spec_offset) = 0;
+
+    /** Insert a run that is entirely demand-fetched. */
+    void insertRun(BlockNum start, std::uint64_t count)
+    {
+        insertRun(start, count, count);
+    }
 
     /**
      * Drop any cached copies of [start, start+count); used when the
@@ -58,6 +93,12 @@ class ControllerCache
 
     /** Blocks currently held. */
     virtual std::uint64_t usedBlocks() const = 0;
+
+    /** Read-ahead accuracy counters. */
+    const RaCounters& raCounters() const { return ra_; }
+
+  protected:
+    RaCounters ra_;
 };
 
 } // namespace dtsim

@@ -10,9 +10,16 @@ HdcStore::HdcStore(std::uint64_t capacity_blocks)
 bool
 HdcStore::pin(BlockNum block)
 {
-    if (blocks_.size() >= capacity_)
+    if (blocks_.size() >= capacity_) {
+        ++counters_.pinFailures;
         return false;
-    return blocks_.emplace(block, false).second;
+    }
+    if (!blocks_.emplace(block, false).second) {
+        ++counters_.pinFailures;
+        return false;
+    }
+    ++counters_.pins;
+    return true;
 }
 
 bool
@@ -23,8 +30,11 @@ HdcStore::unpin(BlockNum block, bool* was_dirty)
         return false;
     if (was_dirty)
         *was_dirty = it->second;
-    if (it->second)
+    if (it->second) {
         --dirty_;
+        ++counters_.dirtyUnpins;
+    }
+    ++counters_.unpins;
     blocks_.erase(it);
     return true;
 }
@@ -60,12 +70,15 @@ HdcStore::absorbWrite(BlockNum block)
         it->second = true;
         ++dirty_;
     }
+    ++counters_.absorbedWrites;
     return true;
 }
 
 std::vector<BlockNum>
 HdcStore::flush()
 {
+    ++counters_.flushCalls;
+    counters_.flushedBlocks += dirty_;
     std::vector<BlockNum> out;
     out.reserve(dirty_);
     for (auto& [block, is_dirty] : blocks_) {

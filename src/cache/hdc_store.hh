@@ -20,6 +20,18 @@
 
 namespace dtsim {
 
+/** Activity counters for the pinned region. */
+struct HdcCounters
+{
+    std::uint64_t pins = 0;           ///< successful pin_blk calls
+    std::uint64_t pinFailures = 0;    ///< rejected (full / duplicate)
+    std::uint64_t unpins = 0;         ///< successful unpin_blk calls
+    std::uint64_t dirtyUnpins = 0;    ///< unpins that released dirty data
+    std::uint64_t absorbedWrites = 0; ///< writes absorbed by pinned blocks
+    std::uint64_t flushCalls = 0;     ///< flush_hdc invocations
+    std::uint64_t flushedBlocks = 0;  ///< dirty blocks handed to flush
+};
+
 /** Host-guided device cache region of one controller. */
 class HdcStore
 {
@@ -71,10 +83,14 @@ class HdcStore
     std::uint64_t pinnedBlocks() const { return blocks_.size(); }
     std::uint64_t dirtyBlocks() const { return dirty_; }
 
+    /** Lifetime activity counters. */
+    const HdcCounters& counters() const { return counters_; }
+
   private:
     std::uint64_t capacity_;
     std::unordered_map<BlockNum, bool> blocks_;  ///< block -> dirty
     std::uint64_t dirty_ = 0;
+    HdcCounters counters_;
 };
 
 } // namespace dtsim

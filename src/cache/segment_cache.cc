@@ -51,6 +51,31 @@ SegmentCache::findAppendable(BlockNum block) const
 }
 
 std::uint64_t
+SegmentCache::specBlocks(const Segment& s) const
+{
+    if (!s.valid)
+        return 0;
+    const BlockNum lo = std::max(s.start, s.specFrom);
+    return lo < s.end ? s.end - lo : 0;
+}
+
+void
+SegmentCache::consumeSpec(Segment& s, BlockNum c_lo, BlockNum c_hi)
+{
+    const BlockNum spec_lo = std::max(s.start, s.specFrom);
+    if (spec_lo >= s.end || c_hi <= spec_lo)
+        return;
+    const BlockNum hi = std::min(c_hi, s.end);
+    // Blocks [spec_lo, hi) leave the speculative state: those at or
+    // after c_lo were consumed, those before were skipped over by a
+    // non-sequential access and will not hit sequentially again.
+    ra_.specUsed += hi - std::max(c_lo, spec_lo);
+    if (c_lo > spec_lo)
+        ra_.specWasted += c_lo - spec_lo;
+    s.specFrom = std::max(s.specFrom, hi);
+}
+
+std::uint64_t
 SegmentCache::lookupPrefix(BlockNum start, std::uint64_t count)
 {
     ++clock_;
@@ -61,6 +86,7 @@ SegmentCache::lookupPrefix(BlockNum start, std::uint64_t count)
     s.lastUse = clock_;
     const std::uint64_t in_seg = s.end - start;
     std::uint64_t hits = std::min(count, in_seg);
+    consumeSpec(s, start, start + hits);
     // The run may continue in an adjacent segment (stream split after
     // a very large read); follow it.
     while (hits < count) {
@@ -71,6 +97,7 @@ SegmentCache::lookupPrefix(BlockNum start, std::uint64_t count)
         n.lastUse = clock_;
         const std::uint64_t more =
             std::min(count - hits, n.end - (start + hits));
+        consumeSpec(n, start + hits, start + hits + more);
         hits += more;
     }
     return hits;
@@ -118,11 +145,15 @@ SegmentCache::pickVictim()
 }
 
 void
-SegmentCache::insertRun(BlockNum start, std::uint64_t count)
+SegmentCache::insertRun(BlockNum start, std::uint64_t count,
+                        std::uint64_t spec_offset)
 {
     if (count == 0)
         return;
     ++clock_;
+
+    const BlockNum run_end = start + count;
+    const BlockNum run_spec_lo = start + std::min(spec_offset, count);
 
     // Stream continuation: extend the segment that ends where this run
     // starts (the segment keeps only its most recent segmentBlocks_).
@@ -133,9 +164,33 @@ SegmentCache::insertRun(BlockNum start, std::uint64_t count)
     }
     if (idx >= 0) {
         Segment& s = segments_[static_cast<std::size_t>(idx)];
-        s.end = std::max(s.end, start + count);
-        if (s.end - s.start > segmentBlocks_)
-            s.start = s.end - segmentBlocks_;
+        // Retire any old unconsumed read-ahead the demand portion
+        // overlaps or skips: blocks the host demanded count as used,
+        // blocks jumped over count as wasted.
+        const BlockNum spec_lo = std::max(s.start, s.specFrom);
+        if (spec_lo < s.end && run_spec_lo > spec_lo) {
+            const BlockNum hi = std::min(run_spec_lo, s.end);
+            ra_.specUsed += hi - std::max(start, spec_lo);
+            if (start > spec_lo)
+                ra_.specWasted += std::min(start, hi) - spec_lo;
+        }
+        const BlockNum old_end = s.end;
+        s.end = std::max(s.end, run_end);
+        if (s.end > old_end) {
+            const BlockNum new_lo = std::max(old_end, run_spec_lo);
+            if (s.end > new_lo)
+                ra_.specInserted += s.end - new_lo;
+        }
+        s.specFrom = std::max(s.specFrom, run_spec_lo);
+        if (s.end - s.start > segmentBlocks_) {
+            const BlockNum new_start = s.end - segmentBlocks_;
+            const BlockNum trim_spec =
+                std::max(s.start, s.specFrom);
+            if (trim_spec < new_start)
+                ra_.specWasted += new_start - trim_spec;
+            s.start = new_start;
+            s.specFrom = std::max(s.specFrom, new_start);
+        }
         s.lastUse = clock_;
         return;
     }
@@ -143,9 +198,14 @@ SegmentCache::insertRun(BlockNum start, std::uint64_t count)
     // New stream: take a whole victim segment.
     const std::size_t v = pickVictim();
     Segment& s = segments_[v];
+    if (s.valid)
+        ra_.specWasted += specBlocks(s);
     s.valid = true;
-    s.end = start + count;
+    s.end = run_end;
     s.start = count > segmentBlocks_ ? s.end - segmentBlocks_ : start;
+    s.specFrom = std::max(run_spec_lo, s.start);
+    if (s.end > s.specFrom)
+        ra_.specInserted += s.end - s.specFrom;
     s.lastUse = clock_;
     s.created = clock_;
 }
@@ -158,11 +218,19 @@ SegmentCache::invalidateRange(BlockNum start, std::uint64_t count)
     for (Segment& s : segments_) {
         if (!s.valid || hi <= s.start || lo >= s.end)
             continue;
+        // Unconsumed read-ahead dropped by the invalidation is wasted.
+        const BlockNum spec_lo = std::max(s.start, s.specFrom);
         if (lo <= s.start && hi >= s.end) {
+            ra_.specWasted += specBlocks(s);
             s.valid = false;            // Fully covered.
         } else if (lo <= s.start) {
+            if (spec_lo < hi && spec_lo < s.end)
+                ra_.specWasted += std::min(hi, s.end) - spec_lo;
             s.start = hi;               // Head overlap.
+            s.specFrom = std::max(s.specFrom, hi);
         } else {
+            if (std::max(spec_lo, lo) < s.end)
+                ra_.specWasted += s.end - std::max(spec_lo, lo);
             s.end = lo;                 // Tail (or middle) overlap:
         }                               // drop everything from lo on.
         if (s.valid && s.start >= s.end)

@@ -43,7 +43,9 @@ class SegmentCache : public ControllerCache
     std::uint64_t lookupPrefix(BlockNum start,
                                std::uint64_t count) override;
     bool contains(BlockNum block) const override;
-    void insertRun(BlockNum start, std::uint64_t count) override;
+    using ControllerCache::insertRun;
+    void insertRun(BlockNum start, std::uint64_t count,
+                   std::uint64_t spec_offset) override;
     void invalidateRange(BlockNum start, std::uint64_t count) override;
 
     std::uint64_t
@@ -68,7 +70,25 @@ class SegmentCache : public ControllerCache
         BlockNum end = 0;       ///< One past the last cached block.
         std::uint64_t lastUse = 0;
         std::uint64_t created = 0;
+
+        /**
+         * Blocks in [max(start, specFrom), end) were read ahead
+         * speculatively and not yet consumed. A run is a contiguous
+         * range, so the unconsumed speculative part is always a
+         * suffix.
+         */
+        BlockNum specFrom = 0;
     };
+
+    /** Unconsumed speculative blocks in a segment. */
+    std::uint64_t specBlocks(const Segment& s) const;
+
+    /**
+     * Account for the host consuming [c_lo, c_hi) inside segment `s`:
+     * speculative blocks consumed count as used, speculative blocks
+     * skipped over count as wasted.
+     */
+    void consumeSpec(Segment& s, BlockNum c_lo, BlockNum c_hi);
 
     /** Index of the segment containing `block`, or -1. */
     int findSegment(BlockNum block) const;

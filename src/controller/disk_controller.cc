@@ -244,7 +244,10 @@ DiskController::handleWrite(IoRequest req)
 void
 DiskController::enqueueMedia(std::unique_ptr<MediaJob> job)
 {
+    job->enqueuedAt = eq_.now();
     sched_->push(std::move(job));
+    if (svc_)
+        svc_->queueDepth.sample(static_cast<double>(sched_->size()));
     tryStartMedia();
 }
 
@@ -313,6 +316,11 @@ DiskController::startMedia(std::unique_ptr<MediaJob> job)
     stats_.xferTime += t.transfer;
     stats_.mediaBusy += t.total();
 
+    job->req.timing.queue = eq_.now() - job->enqueuedAt;
+    job->req.timing.seek = t.seek + t.settle;
+    job->req.timing.rotation = t.rotational;
+    job->req.timing.transfer = t.transfer;
+
     MediaJob* raw = job.release();
     eq_.scheduleAfter(t.total(), [this, raw, ra]() {
         onMediaDone(std::unique_ptr<MediaJob>(raw), ra);
@@ -320,10 +328,11 @@ DiskController::startMedia(std::unique_ptr<MediaJob> job)
 }
 
 void
-DiskController::insertIntoCache(BlockNum start, std::uint64_t count)
+DiskController::insertIntoCache(BlockNum start, std::uint64_t count,
+                                std::uint64_t spec_offset)
 {
     if (!hdc_) {
-        raCache_->insertRun(start, count);
+        raCache_->insertRun(start, count, spec_offset);
         return;
     }
     // Skip pinned blocks: they live in the HDC region already.
@@ -336,7 +345,11 @@ DiskController::insertIntoCache(BlockNum start, std::uint64_t count)
         std::uint64_t j = i + 1;
         while (j < count && !hdc_->contains(start + j))
             ++j;
-        raCache_->insertRun(start + i, j - i);
+        // The speculative suffix of the whole run maps onto this
+        // piece: everything at or beyond spec_offset is speculative.
+        const std::uint64_t spec_in_piece =
+            spec_offset > i ? std::min(spec_offset - i, j - i) : 0;
+        raCache_->insertRun(start + i, j - i, spec_in_piece);
         i = j;
     }
 }
@@ -348,7 +361,8 @@ DiskController::onMediaDone(std::unique_ptr<MediaJob> job,
     mediaBusy_ = false;
 
     if (!job->req.isWrite) {
-        insertIntoCache(job->mediaStart, job->mediaCount + ra_blocks);
+        insertIntoCache(job->mediaStart, job->mediaCount + ra_blocks,
+                        job->mediaCount);
         // The demanded blocks are consumed by the host now; mark them
         // used so MRU replacement sees them as dead.
         raCache_->lookupPrefix(job->mediaStart, job->mediaCount);
@@ -368,11 +382,59 @@ DiskController::respond(IoRequest req, Tick ready)
 {
     const Tick done =
         bus_.transfer(ready, req.count * params_.blockSize);
+    req.timing.bus = done - ready;
     eq_.scheduleAt(done, [this, r = std::move(req), done]() {
         --outstanding_;
+        noteComplete(r, done);
         if (r.onComplete)
             r.onComplete(r, done);
     });
+}
+
+void
+DiskController::noteComplete(const IoRequest& req, Tick done)
+{
+    stats_.queueTime += req.timing.queue;
+    stats_.busTime += req.timing.bus;
+    const Tick latency = done - req.issued;
+    stats_.latencySum += latency;
+    stats_.latencyMax = std::max(stats_.latencyMax, latency);
+
+    if (svc_) {
+        svc_->latencyMs.sample(toMillis(latency));
+        svc_->queueMs.sample(toMillis(req.timing.queue));
+        svc_->seekMs.sample(toMillis(req.timing.seek));
+        svc_->rotationMs.sample(toMillis(req.timing.rotation));
+        svc_->transferMs.sample(toMillis(req.timing.transfer));
+        svc_->busMs.sample(toMillis(req.timing.bus));
+    }
+
+    if (tracer_ && tracer_->enabled()) {
+        RequestTraceEvent ev;
+        ev.completed = done;
+        ev.disk = diskId_;
+        ev.lba = req.start;
+        ev.blocks = static_cast<std::uint32_t>(req.count);
+        ev.isWrite = req.isWrite;
+        switch (req.served) {
+          case ServiceClass::CacheHit:
+            ev.outcome = TraceOutcome::Cache;
+            break;
+          case ServiceClass::HdcHit:
+            ev.outcome = TraceOutcome::Hdc;
+            break;
+          case ServiceClass::Media:
+            ev.outcome = TraceOutcome::Media;
+            break;
+        }
+        ev.queue = req.timing.queue;
+        ev.seek = req.timing.seek;
+        ev.rotation = req.timing.rotation;
+        ev.transfer = req.timing.transfer;
+        ev.bus = req.timing.bus;
+        ev.latency = latency;
+        tracer_->record(ev);
+    }
 }
 
 bool
@@ -412,6 +474,123 @@ DiskController::unpinBlock(BlockNum block)
         enqueueMedia(std::move(job));
     }
     return true;
+}
+
+void
+DiskController::exportStats(stats::StatGroup& parent) const
+{
+    using stats::Scalar;
+    using stats::StatGroup;
+
+    StatGroup& g = parent.makeGroup(strfmt("disk%u", diskId_));
+    auto add = [](StatGroup& grp, const char* name, const char* desc,
+                  double v) {
+        grp.make<Scalar>(name, desc).set(v);
+    };
+    auto addU = [&add](StatGroup& grp, const char* name,
+                       const char* desc, std::uint64_t v) {
+        add(grp, name, desc, static_cast<double>(v));
+    };
+
+    addU(g, "reads", "host read requests", stats_.reads);
+    addU(g, "writes", "host write requests", stats_.writes);
+    addU(g, "read_blocks", "blocks read by the host",
+         stats_.readBlocks);
+    addU(g, "write_blocks", "blocks written by the host",
+         stats_.writeBlocks);
+    addU(g, "cache_hit_requests",
+         "requests served without a media access",
+         stats_.cacheHitRequests);
+    addU(g, "hdc_hit_requests",
+         "requests served entirely by the HDC store",
+         stats_.hdcHitRequests);
+    addU(g, "hdc_hit_blocks", "blocks served from the HDC store",
+         stats_.hdcHitBlocks);
+    addU(g, "ra_hit_blocks", "blocks served from the read-ahead cache",
+         stats_.raHitBlocks);
+    addU(g, "media_accesses", "media accesses issued",
+         stats_.mediaAccesses);
+    addU(g, "media_blocks", "demanded blocks read/written on media",
+         stats_.mediaBlocks);
+    addU(g, "read_ahead_blocks", "speculative blocks read from media",
+         stats_.readAheadBlocks);
+    addU(g, "flush_writes", "HDC flush media jobs", stats_.flushWrites);
+    addU(g, "flush_blocks", "blocks written by HDC flush jobs",
+         stats_.flushBlocks);
+    add(g, "seek_ms", "total seek + settle time",
+        toMillis(stats_.seekTime));
+    add(g, "rotation_ms", "total rotational delay",
+        toMillis(stats_.rotTime));
+    add(g, "transfer_ms", "total media transfer time",
+        toMillis(stats_.xferTime));
+    add(g, "media_busy_ms", "total mechanism busy time",
+        toMillis(stats_.mediaBusy));
+    add(g, "queue_ms", "total scheduler queue wait of host requests",
+        toMillis(stats_.queueTime));
+    add(g, "bus_ms", "total bus transfer time of host requests",
+        toMillis(stats_.busTime));
+    add(g, "latency_sum_ms", "summed host request latency",
+        toMillis(stats_.latencySum));
+    add(g, "latency_max_ms", "largest host request latency",
+        toMillis(stats_.latencyMax));
+
+    StatGroup& cache = g.makeGroup("cache");
+    addU(cache, "capacity_blocks", "read-ahead cache capacity",
+         raCache_->capacityBlocks());
+    addU(cache, "used_blocks", "read-ahead cache blocks held",
+         raCache_->usedBlocks());
+
+    const RaCounters& ra = raCache_->raCounters();
+    StatGroup& rag = g.makeGroup("read_ahead");
+    addU(rag, "spec_inserted", "speculative blocks cached",
+         ra.specInserted);
+    addU(rag, "spec_used", "speculative blocks later consumed",
+         ra.specUsed);
+    addU(rag, "spec_wasted", "speculative blocks dropped unconsumed",
+         ra.specWasted);
+    add(rag, "accuracy", "spec_used / spec_inserted", ra.accuracy());
+
+    const SchedulerStats& ss = sched_->schedStats();
+    StatGroup& sg = g.makeGroup("sched");
+    addU(sg, "pushes", "media jobs enqueued", ss.pushes);
+    addU(sg, "pops", "media jobs dequeued", ss.pops);
+    add(sg, "depth_mean", "mean queue depth after enqueue",
+        ss.meanDepth());
+    addU(sg, "depth_max", "largest queue depth seen", ss.depthMax);
+
+    const MechCounters& mc = mech_.counters();
+    StatGroup& mg = g.makeGroup("mech");
+    addU(mg, "accesses", "media accesses serviced", mc.accesses);
+    addU(mg, "sectors", "sectors transferred", mc.sectors);
+    addU(mg, "seeks", "accesses that moved the arm", mc.seeks);
+    addU(mg, "seek_cylinders", "total cylinders travelled",
+         mc.seekCylinders);
+    addU(mg, "head_switches", "same-cylinder head changes",
+         mc.headSwitches);
+    addU(mg, "track_crossings", "track boundaries crossed mid-transfer",
+         mc.trackCrossings);
+
+    if (hdc_) {
+        const HdcCounters& hc = hdc_->counters();
+        StatGroup& hg = g.makeGroup("hdc");
+        addU(hg, "capacity_blocks", "pinned-region capacity",
+             hdc_->capacityBlocks());
+        addU(hg, "pinned_blocks", "blocks currently pinned",
+             hdc_->pinnedBlocks());
+        addU(hg, "dirty_blocks", "pinned blocks with absorbed writes",
+             hdc_->dirtyBlocks());
+        addU(hg, "pins", "successful pin_blk calls", hc.pins);
+        addU(hg, "pin_failures", "rejected pin_blk calls",
+             hc.pinFailures);
+        addU(hg, "unpins", "successful unpin_blk calls", hc.unpins);
+        addU(hg, "dirty_unpins", "unpins that released dirty data",
+             hc.dirtyUnpins);
+        addU(hg, "absorbed_writes", "writes absorbed by pinned blocks",
+             hc.absorbedWrites);
+        addU(hg, "flush_calls", "flush_hdc invocations", hc.flushCalls);
+        addU(hg, "flushed_blocks", "dirty blocks handed to flush",
+             hc.flushedBlocks);
+    }
 }
 
 std::uint64_t

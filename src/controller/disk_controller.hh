@@ -32,6 +32,8 @@
 #include "disk/mechanism.hh"
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
+#include "stats/service_stats.hh"
+#include "stats/trace.hh"
 
 namespace dtsim {
 
@@ -90,6 +92,18 @@ struct ControllerStats
     Tick rotTime = 0;
     Tick xferTime = 0;
     Tick mediaBusy = 0;
+
+    /** Summed per-request scheduler queue wait (host requests). */
+    Tick queueTime = 0;
+
+    /** Summed per-request bus transfer time (host requests). */
+    Tick busTime = 0;
+
+    /** Summed submit-to-complete latency (host requests). */
+    Tick latencySum = 0;
+
+    /** Largest single-request latency. */
+    Tick latencyMax = 0;
 };
 
 /**
@@ -147,6 +161,37 @@ class DiskController
     const DiskParams& params() const { return params_; }
     unsigned diskId() const { return diskId_; }
 
+    /** Read-ahead accuracy counters of the controller cache. */
+    const RaCounters& raCounters() const
+    {
+        return raCache_->raCounters();
+    }
+
+    /** Scheduler queue-depth counters. */
+    const SchedulerStats& schedStats() const
+    {
+        return sched_->schedStats();
+    }
+
+    /**
+     * Attach the shared per-request histogram bundle. Optional; when
+     * unset, only the scalar counters are maintained.
+     */
+    void setServiceStats(stats::ServiceStats* svc) { svc_ = svc; }
+
+    /**
+     * Attach the request tracer. Optional; the tracer's own enabled
+     * check keeps the completion path allocation-free when tracing is
+     * off.
+     */
+    void setTracer(RequestTracer* tracer) { tracer_ = tracer; }
+
+    /**
+     * Export a snapshot of every per-component counter as an owned
+     * "disk<N>" child group of `parent` (see docs/METRICS.md).
+     */
+    void exportStats(stats::StatGroup& parent) const;
+
     /** Read-ahead cache capacity in blocks after HDC/bitmap carving. */
     std::uint64_t raCacheBlocks() const;
 
@@ -191,8 +236,15 @@ class DiskController
     /** Finish a request: bus transfer then completion callback. */
     void respond(IoRequest req, Tick ready);
 
-    /** Insert freshly read blocks, skipping pinned ones. */
-    void insertIntoCache(BlockNum start, std::uint64_t count);
+    /** Fold a completed host request into stats/histograms/trace. */
+    void noteComplete(const IoRequest& req, Tick done);
+
+    /**
+     * Insert freshly read blocks, skipping pinned ones. Blocks at
+     * offset >= `spec_offset` were read ahead speculatively.
+     */
+    void insertIntoCache(BlockNum start, std::uint64_t count,
+                         std::uint64_t spec_offset);
 
     EventQueue& eq_;
     ScsiBus& bus_;
@@ -213,6 +265,8 @@ class DiskController
     std::uint64_t seq_ = 0;
     std::uint64_t outstanding_ = 0;
     ControllerStats stats_;
+    stats::ServiceStats* svc_ = nullptr;
+    RequestTracer* tracer_ = nullptr;
 };
 
 } // namespace dtsim

@@ -22,6 +22,19 @@ enum class ServiceClass
     Media,      ///< Needed a media access.
 };
 
+/**
+ * Where a request's service time went, in ticks. Filled in as the
+ * request moves through the controller; all zero for pure cache hits.
+ */
+struct ServiceBreakdown
+{
+    Tick queue = 0;     ///< wait in the scheduler queue
+    Tick seek = 0;      ///< seek + settle
+    Tick rotation = 0;  ///< rotational positioning
+    Tick transfer = 0;  ///< media transfer
+    Tick bus = 0;       ///< SCSI bus transfer
+};
+
 /** One request from the host to one disk controller. */
 struct IoRequest
 {
@@ -44,6 +57,9 @@ struct IoRequest
 
     /** How the request was ultimately served (set at completion). */
     ServiceClass served = ServiceClass::Media;
+
+    /** Service-time breakdown (set as the request is serviced). */
+    ServiceBreakdown timing;
 
     Callback onComplete;
 };

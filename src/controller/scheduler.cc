@@ -5,13 +5,13 @@
 namespace dtsim {
 
 void
-FcfsScheduler::push(std::unique_ptr<MediaJob> job)
+FcfsScheduler::doPush(std::unique_ptr<MediaJob> job)
 {
     queue_.push_back(std::move(job));
 }
 
 std::unique_ptr<MediaJob>
-FcfsScheduler::pop(std::uint32_t)
+FcfsScheduler::doPop(std::uint32_t)
 {
     if (queue_.empty())
         return nullptr;
@@ -21,7 +21,7 @@ FcfsScheduler::pop(std::uint32_t)
 }
 
 void
-SweepScheduler::push(std::unique_ptr<MediaJob> job)
+SweepScheduler::doPush(std::unique_ptr<MediaJob> job)
 {
     const std::uint32_t cyl = job->cylinder;
     byCylinder_.emplace(cyl, std::move(job));
@@ -40,7 +40,7 @@ SweepScheduler::name() const
 }
 
 std::unique_ptr<MediaJob>
-SweepScheduler::pop(std::uint32_t cylinder)
+SweepScheduler::doPop(std::uint32_t cylinder)
 {
     if (byCylinder_.empty())
         return nullptr;

@@ -9,6 +9,7 @@
 #ifndef DTSIM_CONTROLLER_SCHEDULER_HH
 #define DTSIM_CONTROLLER_SCHEDULER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -38,6 +39,27 @@ struct MediaJob
 
     /** True for host-invisible work (e.g. HDC flush writes). */
     bool background = false;
+
+    /** Tick the job entered the scheduler queue. */
+    Tick enqueuedAt = 0;
+};
+
+/** Queue-depth accounting common to every scheduler policy. */
+struct SchedulerStats
+{
+    std::uint64_t pushes = 0;    ///< jobs ever enqueued
+    std::uint64_t pops = 0;      ///< jobs ever dequeued
+    std::uint64_t depthSum = 0;  ///< sum of depth-after-push samples
+    std::uint64_t depthMax = 0;  ///< largest depth ever seen
+
+    /** Mean queue depth observed at enqueue time. */
+    double
+    meanDepth() const
+    {
+        return pushes ? static_cast<double>(depthSum) /
+                            static_cast<double>(pushes)
+                      : 0.0;
+    }
 };
 
 /** Queue + policy for picking the next media access. */
@@ -46,29 +68,56 @@ class Scheduler
   public:
     virtual ~Scheduler() = default;
 
-    virtual void push(std::unique_ptr<MediaJob> job) = 0;
+    /** Enqueue a job (records queue-depth stats). */
+    void
+    push(std::unique_ptr<MediaJob> job)
+    {
+        doPush(std::move(job));
+        ++stats_.pushes;
+        const std::uint64_t depth = size();
+        stats_.depthSum += depth;
+        stats_.depthMax = std::max(stats_.depthMax, depth);
+    }
 
     /**
      * Remove and return the next job to service given the arm's
      * current cylinder; nullptr if the queue is empty.
      */
-    virtual std::unique_ptr<MediaJob> pop(std::uint32_t cylinder) = 0;
+    std::unique_ptr<MediaJob>
+    pop(std::uint32_t cylinder)
+    {
+        auto job = doPop(cylinder);
+        if (job)
+            ++stats_.pops;
+        return job;
+    }
 
     virtual std::size_t size() const = 0;
 
     bool empty() const { return size() == 0; }
 
     virtual const char* name() const = 0;
+
+    const SchedulerStats& schedStats() const { return stats_; }
+
+  protected:
+    virtual void doPush(std::unique_ptr<MediaJob> job) = 0;
+    virtual std::unique_ptr<MediaJob> doPop(std::uint32_t cylinder) = 0;
+
+  private:
+    SchedulerStats stats_;
 };
 
 /** First-come first-served. */
 class FcfsScheduler : public Scheduler
 {
   public:
-    void push(std::unique_ptr<MediaJob> job) override;
-    std::unique_ptr<MediaJob> pop(std::uint32_t cylinder) override;
     std::size_t size() const override { return queue_.size(); }
     const char* name() const override { return "FCFS"; }
+
+  protected:
+    void doPush(std::unique_ptr<MediaJob> job) override;
+    std::unique_ptr<MediaJob> doPop(std::uint32_t cylinder) override;
 
   private:
     std::deque<std::unique_ptr<MediaJob>> queue_;
@@ -86,10 +135,12 @@ class SweepScheduler : public Scheduler
 
     explicit SweepScheduler(Kind kind) : kind_(kind) {}
 
-    void push(std::unique_ptr<MediaJob> job) override;
-    std::unique_ptr<MediaJob> pop(std::uint32_t cylinder) override;
     std::size_t size() const override { return count_; }
     const char* name() const override;
+
+  protected:
+    void doPush(std::unique_ptr<MediaJob> job) override;
+    std::unique_ptr<MediaJob> doPop(std::uint32_t cylinder) override;
 
   private:
     using Map = std::multimap<std::uint32_t,

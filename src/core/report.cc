@@ -1,78 +1,187 @@
 #include "core/report.hh"
 
+#include "array/disk_array.hh"
 #include "stats/stats.hh"
 
 namespace dtsim {
+
+namespace {
+
+/** Add an owned scalar to `g` and set it. */
+void
+addScalar(stats::StatGroup& g, const char* name, const char* desc,
+          double v)
+{
+    g.make<stats::Scalar>(name, desc).set(v);
+}
+
+void
+addScalarU(stats::StatGroup& g, const char* name, const char* desc,
+           std::uint64_t v)
+{
+    addScalar(g, name, desc, static_cast<double>(v));
+}
+
+/** Fill a group with the run-level results of `r`. */
+void
+fillRunGroup(stats::StatGroup& root, const RunResult& r)
+{
+    addScalar(root, "io_time_ms", "total I/O time (makespan)",
+              toMillis(r.ioTime));
+    addScalar(root, "hdc_flush_ms",
+              "extra time flushing dirty HDC blocks",
+              toMillis(r.flushTime));
+    addScalar(root, "elapsed_ms", "io_time_ms + hdc_flush_ms",
+              toMillis(r.elapsed));
+    addScalarU(root, "requests", "disk requests completed",
+               r.requests);
+    addScalarU(root, "blocks", "blocks transferred", r.blocks);
+    addScalar(root, "throughput_mbps",
+              "delivered throughput over io_time",
+              r.throughputMBps);
+    addScalar(root, "throughput_elapsed_mbps",
+              "delivered throughput over elapsed time",
+              r.throughputElapsedMBps);
+    addScalar(root, "mean_latency_ms", "mean request latency",
+              r.meanLatencyMs);
+    addScalar(root, "latency_max_ms", "maximum request latency",
+              toMillis(r.agg.latencyMax));
+    addScalar(root, "disk_utilization", "mean media busy fraction",
+              r.diskUtilization);
+
+    stats::StatGroup& cache = root.makeGroup("cache");
+    addScalar(cache, "hit_rate",
+              "requests served without media access", r.cacheHitRate);
+    addScalar(cache, "hdc_hit_rate",
+              "requests served by the HDC store", r.hdcHitRate);
+    addScalarU(cache, "read_ahead_blocks",
+               "speculative blocks fetched", r.agg.readAheadBlocks);
+    addScalarU(cache, "ra_hit_blocks",
+               "blocks served from the read-ahead cache",
+               r.agg.raHitBlocks);
+    addScalarU(cache, "hdc_hit_blocks",
+               "blocks served from the HDC store",
+               r.agg.hdcHitBlocks);
+    addScalarU(cache, "victim_pins",
+               "victim-policy pin commands issued", r.victimPins);
+
+    stats::StatGroup& ra = root.makeGroup("read_ahead");
+    addScalarU(ra, "spec_inserted",
+               "speculative blocks inserted into the cache",
+               r.ra.specInserted);
+    addScalarU(ra, "spec_used",
+               "speculative blocks later demanded (useful)",
+               r.ra.specUsed);
+    addScalarU(ra, "spec_wasted",
+               "speculative blocks evicted or invalidated unused",
+               r.ra.specWasted);
+    addScalar(ra, "accuracy", "spec_used / spec_inserted",
+              r.ra.accuracy());
+
+    stats::StatGroup& media = root.makeGroup("media");
+    addScalarU(media, "accesses", "media accesses",
+               r.agg.mediaAccesses);
+    addScalarU(media, "demand_blocks", "demanded blocks read/written",
+               r.agg.mediaBlocks);
+    addScalar(media, "seek_ms", "total seek time",
+              toMillis(r.agg.seekTime));
+    addScalar(media, "rotation_ms", "total rotational delay",
+              toMillis(r.agg.rotTime));
+    addScalar(media, "transfer_ms", "total media transfer time",
+              toMillis(r.agg.xferTime));
+    addScalar(media, "queue_ms", "total scheduler queue wait",
+              toMillis(r.agg.queueTime));
+    addScalar(media, "bus_ms", "total SCSI bus transfer time",
+              toMillis(r.agg.busTime));
+    addScalarU(media, "hdc_flush_writes",
+               "background HDC flush media jobs", r.agg.flushWrites);
+}
+
+} // namespace
 
 void
 printReport(std::ostream& os, const SystemConfig& cfg,
             const RunResult& r)
 {
     stats::StatGroup root("sim");
-
-    stats::Scalar io_time(root, "io_time_ms",
-                          "total I/O time (makespan)");
-    io_time.set(toMillis(r.ioTime));
-    stats::Scalar flush(root, "hdc_flush_ms",
-                        "extra time flushing dirty HDC blocks");
-    flush.set(toMillis(r.flushTime));
-    stats::Scalar reqs(root, "requests",
-                       "disk requests completed");
-    reqs.set(static_cast<double>(r.requests));
-    stats::Scalar blocks(root, "blocks", "blocks transferred");
-    blocks.set(static_cast<double>(r.blocks));
-    stats::Scalar tput(root, "throughput_mbps",
-                       "delivered throughput");
-    tput.set(r.throughputMBps);
-    stats::Scalar lat(root, "mean_latency_ms",
-                      "mean request latency");
-    lat.set(r.meanLatencyMs);
-    stats::Scalar util(root, "disk_utilization",
-                       "mean media busy fraction");
-    util.set(r.diskUtilization);
-
-    stats::StatGroup cache(root, "cache");
-    stats::Scalar hit(cache, "hit_rate",
-                      "requests served without media access");
-    hit.set(r.cacheHitRate);
-    stats::Scalar hdc_hit(cache, "hdc_hit_rate",
-                          "requests served by the HDC store");
-    hdc_hit.set(r.hdcHitRate);
-    stats::Scalar ra_blocks(cache, "read_ahead_blocks",
-                            "speculative blocks fetched");
-    ra_blocks.set(static_cast<double>(r.agg.readAheadBlocks));
-    stats::Scalar ra_hits(cache, "ra_hit_blocks",
-                          "blocks served from the read-ahead cache");
-    ra_hits.set(static_cast<double>(r.agg.raHitBlocks));
-    stats::Scalar hdc_blocks(cache, "hdc_hit_blocks",
-                             "blocks served from the HDC store");
-    hdc_blocks.set(static_cast<double>(r.agg.hdcHitBlocks));
-    stats::Scalar vpins(cache, "victim_pins",
-                        "victim-policy pin commands issued");
-    vpins.set(static_cast<double>(r.victimPins));
-
-    stats::StatGroup media(root, "media");
-    stats::Scalar accesses(media, "accesses", "media accesses");
-    accesses.set(static_cast<double>(r.agg.mediaAccesses));
-    stats::Scalar mblocks(media, "demand_blocks",
-                          "demanded blocks read/written");
-    mblocks.set(static_cast<double>(r.agg.mediaBlocks));
-    stats::Scalar seek(media, "seek_ms", "total seek time");
-    seek.set(toMillis(r.agg.seekTime));
-    stats::Scalar rot(media, "rotation_ms",
-                      "total rotational delay");
-    rot.set(toMillis(r.agg.rotTime));
-    stats::Scalar xfer(media, "transfer_ms",
-                       "total media transfer time");
-    xfer.set(toMillis(r.agg.xferTime));
-    stats::Scalar flushes(media, "hdc_flush_writes",
-                          "background HDC flush media jobs");
-    flushes.set(static_cast<double>(r.agg.flushWrites));
+    fillRunGroup(root, r);
 
     os << "system: " << cfg.label() << "  disks=" << cfg.disks
        << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
        << "  streams=" << cfg.streams << "\n";
     root.print(os);
+}
+
+void
+writeStatsDump(std::ostream& os, const SystemConfig& cfg,
+               const RunResult& r, const DiskArray& array,
+               const stats::ServiceStats* svc,
+               const BufferCacheStats* fs_stats)
+{
+    os << "# dtsim stats dump -- every name is documented in"
+          " docs/METRICS.md\n";
+    os << "system: " << cfg.label() << "  disks=" << cfg.disks
+       << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
+       << "  streams=" << cfg.streams << "\n";
+
+    stats::StatGroup root("sim");
+    fillRunGroup(root, r);
+
+    stats::StatGroup& conf = root.makeGroup("config");
+    addScalarU(conf, "disks", "disks in the array", cfg.disks);
+    addScalarU(conf, "stripe_unit_kb", "striping unit",
+               cfg.stripeUnitBytes / 1024);
+    addScalarU(conf, "streams", "concurrent I/O streams",
+               cfg.streams);
+    addScalarU(conf, "workers", "replay worker threads (0 = one per"
+               " stream)", cfg.workers);
+    addScalarU(conf, "hdc_kb_per_disk", "HDC budget per disk",
+               cfg.hdcBytesPerDisk / 1024);
+    addScalarU(conf, "seed", "workload/layout RNG seed", cfg.seed);
+
+    if (fs_stats) {
+        stats::StatGroup& fs = root.makeGroup("fs");
+        addScalarU(fs, "read_lookups",
+                   "buffer-cache read lookups (trace generation)",
+                   fs_stats->readLookups);
+        addScalarU(fs, "read_misses",
+                   "read lookups that missed to disk",
+                   fs_stats->readMisses);
+        addScalar(fs, "read_hit_rate", "1 - read_misses/read_lookups",
+                  fs_stats->readHitRate());
+        addScalarU(fs, "write_lookups", "buffer-cache write lookups",
+                   fs_stats->writeLookups);
+        addScalarU(fs, "write_merges",
+                   "writes absorbed into already-dirty blocks",
+                   fs_stats->writeMerges);
+        addScalarU(fs, "evictions", "buffer-cache evictions",
+                   fs_stats->evictions);
+        addScalarU(fs, "dirty_writebacks",
+                   "dirty blocks written back to disk",
+                   fs_stats->dirtyWritebacks);
+    }
+
+    // Component counters (per-disk + bus) join the same tree so one
+    // print covers everything under the "sim." prefix.
+    array.exportStats(root);
+    root.print(os);
+
+    // The service histograms live in the runner's own group; print
+    // them under the same prefix so the dump reads as one namespace.
+    if (svc)
+        svc->group.print(os, "sim.");
+}
+
+void
+writeStatsSnapshot(std::ostream& os, const DiskArray& array,
+                   const stats::ServiceStats* svc, Tick now)
+{
+    os << "# snapshot @" << now << " (" << toMillis(now) << " ms)\n";
+    stats::StatGroup root("sim");
+    array.exportStats(root);
+    root.print(os);
+    if (svc)
+        svc->group.print(os, "sim.");
 }
 
 } // namespace dtsim

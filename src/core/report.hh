@@ -12,6 +12,7 @@
 
 #include "core/runner.hh"
 #include "core/system.hh"
+#include "stats/service_stats.hh"
 
 namespace dtsim {
 
@@ -24,6 +25,32 @@ namespace dtsim {
  */
 void printReport(std::ostream& os, const SystemConfig& cfg,
                  const RunResult& result);
+
+/**
+ * Write the full --stats-out dump: run-level results, configuration,
+ * per-request service histograms, per-disk component counters, bus
+ * counters, and (when given) the workload generator's buffer-cache
+ * stats. Every line is documented in docs/METRICS.md.
+ *
+ * @param os Output stream.
+ * @param cfg The system that ran.
+ * @param result Its results.
+ * @param array The array that ran (component counter source).
+ * @param svc Per-request histograms (nullptr = omit).
+ * @param fs_stats Workload buffer-cache stats (nullptr = omit).
+ */
+void writeStatsDump(std::ostream& os, const SystemConfig& cfg,
+                    const RunResult& result, const DiskArray& array,
+                    const stats::ServiceStats* svc,
+                    const BufferCacheStats* fs_stats);
+
+/**
+ * Write a mid-run snapshot (used by --stats-interval): the current
+ * tick plus component and histogram counters, delimited by a
+ * "# snapshot @tick" header line.
+ */
+void writeStatsSnapshot(std::ostream& os, const DiskArray& array,
+                        const stats::ServiceStats* svc, Tick now);
 
 } // namespace dtsim
 

@@ -1,9 +1,15 @@
 #include "core/runner.hh"
 
+#include <algorithm>
+#include <fstream>
+#include <functional>
 #include <memory>
 
+#include "core/report.hh"
 #include "hdc/victim_cache.hh"
 #include "sim/logging.hh"
+#include "stats/service_stats.hh"
+#include "stats/trace.hh"
 
 namespace dtsim {
 
@@ -15,6 +21,15 @@ hdcBlocksPerDisk(const SystemConfig& cfg)
 
 RunResult
 runTrace(const SystemConfig& cfg, const Trace& trace,
+         const std::vector<LayoutBitmap>* bitmaps,
+         const std::vector<ArrayBlock>* pinned)
+{
+    return runTrace(cfg, trace, RunOptions{}, bitmaps, pinned);
+}
+
+RunResult
+runTrace(const SystemConfig& cfg, const Trace& trace,
+         const RunOptions& opts,
          const std::vector<LayoutBitmap>* bitmaps,
          const std::vector<ArrayBlock>* pinned)
 {
@@ -33,6 +48,30 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
             array.pinLogicalBlock(lb);
     }
 
+    // Observability wiring. The service histograms are only attached
+    // when a stats destination is configured, so plain runs pay
+    // nothing; the tracer's fast-path guard is an inline null check.
+    std::ofstream stats_file;
+    if (!opts.statsOutPath.empty()) {
+        stats_file.open(opts.statsOutPath);
+        if (!stats_file)
+            fatal("runTrace: cannot write stats file '%s'",
+                  opts.statsOutPath.c_str());
+    }
+
+    stats::StatGroup live_root("sim");
+    std::unique_ptr<stats::ServiceStats> svc;
+    if (opts.wantsStats()) {
+        svc = std::make_unique<stats::ServiceStats>(live_root);
+        array.setServiceStats(svc.get());
+    }
+
+    RequestTracer tracer;
+    if (!opts.tracePath.empty()) {
+        tracer.open(opts.tracePath);
+        array.setTracer(&tracer);
+    }
+
     ReplayEngine engine(eq, array, trace, cfg.streams, cfg.workers);
 
     std::unique_ptr<VictimHdcManager> victim;
@@ -46,13 +85,40 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
             });
     }
 
+    // Periodic snapshots ride the simulation event queue; the chain
+    // stops re-arming once no other work is pending so it never keeps
+    // the queue alive by itself.
+    std::function<void()> snapshot;
+    if (opts.statsIntervalTicks > 0 && opts.wantsStats()) {
+        snapshot = [&]() {
+            if (stats_file.is_open())
+                writeStatsSnapshot(stats_file, array, svc.get(),
+                                   eq.now());
+            if (opts.statsStream)
+                writeStatsSnapshot(*opts.statsStream, array,
+                                   svc.get(), eq.now());
+            if (!eq.empty())
+                eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
+        };
+        eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
+    }
+
     const Tick io_time = engine.run();
+    const Tick post_drain = eq.now();
 
     Tick flush_time = 0;
     if (cfg.hdcBytesPerDisk > 0 && cfg.flushHdcAtEnd) {
         array.flushAllHdc();
         eq.run();
-        flush_time = eq.now() > io_time ? eq.now() - io_time : 0;
+        // A trailing snapshot event may have advanced the clock past
+        // the last completion before the flush began; charge the
+        // flush window from there so it is not inflated (with
+        // snapshots off, base == io_time and the result is identical
+        // to a run without observability).
+        const Tick base = opts.statsIntervalTicks > 0
+                              ? std::max(io_time, post_drain)
+                              : io_time;
+        flush_time = eq.now() > base ? eq.now() - base : 0;
     }
 
     RunResult res;
@@ -67,6 +133,8 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
         res.victimUnpins = victim->unpins();
     }
     res.agg = array.aggregateStats();
+    res.ra = array.aggregateRaCounters();
+    res.traceRecords = tracer.records();
 
     const std::uint64_t accesses = res.agg.reads + res.agg.writes;
     if (accesses > 0) {
@@ -96,6 +164,15 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
         res.throughputElapsedMBps =
             bytes / toSeconds(res.elapsed) / 1.0e6;
     }
+
+    tracer.close();
+
+    if (stats_file.is_open())
+        writeStatsDump(stats_file, cfg, res, array, svc.get(),
+                       opts.fsStats);
+    if (opts.statsStream)
+        writeStatsDump(*opts.statsStream, cfg, res, array, svc.get(),
+                       opts.fsStats);
 
     return res;
 }

@@ -9,14 +9,53 @@
 #define DTSIM_CORE_RUNNER_HH
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "controller/layout_bitmap.hh"
 #include "core/replay.hh"
 #include "core/system.hh"
+#include "fs/buffer_cache.hh"
 #include "workload/trace.hh"
 
 namespace dtsim {
+
+/** Observability options of one run (all off by default). */
+struct RunOptions
+{
+    /** Write a full stats dump to this file ("" = off). */
+    std::string statsOutPath;
+
+    /** Also write the dump to this stream (used by tests). */
+    std::ostream* statsStream = nullptr;
+
+    /** Write one JSONL record per completed request ("" = off). */
+    std::string tracePath;
+
+    /**
+     * Emit a periodic stats snapshot every this many ticks of
+     * simulated time (0 = final dump only). Snapshots go to the
+     * stats file/stream. The snapshot events ride the simulation
+     * event queue, so the reported HDC flush window can stretch by
+     * up to one interval; all other results are unaffected.
+     */
+    Tick statsIntervalTicks = 0;
+
+    /**
+     * Buffer-cache statistics of the workload generator, included in
+     * the dump under sim.fs when set (the cache itself ran during
+     * trace generation, not during replay).
+     */
+    const BufferCacheStats* fsStats = nullptr;
+
+    /** True when any stats output destination is configured. */
+    bool
+    wantsStats() const
+    {
+        return !statsOutPath.empty() || statsStream != nullptr;
+    }
+};
 
 /** Results of one simulated run. */
 struct RunResult
@@ -72,6 +111,12 @@ struct RunResult
 
     /** Raw aggregate controller counters. */
     ControllerStats agg;
+
+    /** Aggregate read-ahead accuracy counters. */
+    RaCounters ra;
+
+    /** JSONL trace records written (0 when tracing was off). */
+    std::uint64_t traceRecords = 0;
 };
 
 /**
@@ -85,6 +130,12 @@ struct RunResult
  *        ignored when the HDC budget is zero.
  */
 RunResult runTrace(const SystemConfig& cfg, const Trace& trace,
+                   const std::vector<LayoutBitmap>* bitmaps = nullptr,
+                   const std::vector<ArrayBlock>* pinned = nullptr);
+
+/** Run one experiment with observability options. */
+RunResult runTrace(const SystemConfig& cfg, const Trace& trace,
+                   const RunOptions& opts,
                    const std::vector<LayoutBitmap>* bitmaps = nullptr,
                    const std::vector<ArrayBlock>* pinned = nullptr);
 

@@ -1,5 +1,6 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -44,7 +45,7 @@ runSweep(const std::vector<SweepJob>& jobs, unsigned threads)
                 return;
             const SweepJob& job = jobs[i];
             try {
-                results[i] = runTrace(job.cfg, *job.trace,
+                results[i] = runTrace(job.cfg, *job.trace, job.opts,
                                       job.bitmaps, job.pinned);
             } catch (...) {
                 errors[i] = std::current_exception();
@@ -68,6 +69,49 @@ runSweep(const std::vector<SweepJob>& jobs, unsigned threads)
             std::rethrow_exception(e);
     }
     return results;
+}
+
+ControllerStats
+aggregateSweepStats(const std::vector<RunResult>& results)
+{
+    ControllerStats total;
+    for (const RunResult& r : results) {
+        const ControllerStats& s = r.agg;
+        total.reads += s.reads;
+        total.writes += s.writes;
+        total.readBlocks += s.readBlocks;
+        total.writeBlocks += s.writeBlocks;
+        total.cacheHitRequests += s.cacheHitRequests;
+        total.hdcHitRequests += s.hdcHitRequests;
+        total.hdcHitBlocks += s.hdcHitBlocks;
+        total.raHitBlocks += s.raHitBlocks;
+        total.mediaAccesses += s.mediaAccesses;
+        total.mediaBlocks += s.mediaBlocks;
+        total.readAheadBlocks += s.readAheadBlocks;
+        total.flushWrites += s.flushWrites;
+        total.flushBlocks += s.flushBlocks;
+        total.seekTime += s.seekTime;
+        total.rotTime += s.rotTime;
+        total.xferTime += s.xferTime;
+        total.mediaBusy += s.mediaBusy;
+        total.queueTime += s.queueTime;
+        total.busTime += s.busTime;
+        total.latencySum += s.latencySum;
+        total.latencyMax = std::max(total.latencyMax, s.latencyMax);
+    }
+    return total;
+}
+
+RaCounters
+aggregateSweepRa(const std::vector<RunResult>& results)
+{
+    RaCounters total;
+    for (const RunResult& r : results) {
+        total.specInserted += r.ra.specInserted;
+        total.specUsed += r.ra.specUsed;
+        total.specWasted += r.ra.specWasted;
+    }
+    return total;
 }
 
 } // namespace dtsim

@@ -35,6 +35,15 @@ struct SweepJob
 
     /** HDC warm-start pin set; must outlive runSweep(). */
     const std::vector<ArrayBlock>* pinned = nullptr;
+
+    /**
+     * Observability options of this job. Each job writes its own
+     * stats/trace files, so give distinct paths when enabling output
+     * on more than one job; a statsStream, if set, must be safe to
+     * write from the worker thread running the job (jobs never share
+     * a stream unless the caller points them at the same one).
+     */
+    RunOptions opts;
 };
 
 /**
@@ -57,6 +66,16 @@ unsigned sweepJobs();
  */
 std::vector<RunResult> runSweep(const std::vector<SweepJob>& jobs,
                                 unsigned threads = 0);
+
+/**
+ * Sum the raw controller counters of a sweep's results. Each job's
+ * counters were aggregated inside its own run, so this total is
+ * independent of the thread count the sweep ran with.
+ */
+ControllerStats aggregateSweepStats(const std::vector<RunResult>& results);
+
+/** Sum the read-ahead accuracy counters of a sweep's results. */
+RaCounters aggregateSweepRa(const std::vector<RunResult>& results);
 
 } // namespace dtsim
 

@@ -88,6 +88,16 @@ DiskMechanism::service(const MediaAccess& access, Tick now)
         geom_.sectorsPerTrack();
     t.transfer += (last_track - first_track) * params_.headSwitch;
 
+    ++counters_.accesses;
+    counters_.sectors += access.sectorCount;
+    if (dist > 0) {
+        ++counters_.seeks;
+        counters_.seekCylinders += dist;
+    } else if (target.head != head_) {
+        ++counters_.headSwitches;
+    }
+    counters_.trackCrossings += last_track - first_track;
+
     // Advance head state to the end of the access.
     const SectorNum end = access.startSector + access.sectorCount - 1;
     const Chs end_chs = geom_.sectorToChs(end);

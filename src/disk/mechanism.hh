@@ -33,6 +33,17 @@ struct MediaAccess
     bool isWrite = false;
 };
 
+/** Mechanical activity counters for one drive. */
+struct MechCounters
+{
+    std::uint64_t accesses = 0;       ///< media accesses serviced
+    std::uint64_t sectors = 0;        ///< sectors transferred
+    std::uint64_t seeks = 0;          ///< accesses that moved the arm
+    std::uint64_t seekCylinders = 0;  ///< total cylinders travelled
+    std::uint64_t headSwitches = 0;   ///< same-cylinder head changes
+    std::uint64_t trackCrossings = 0; ///< boundaries crossed mid-transfer
+};
+
 /** Timing breakdown of one serviced media access. */
 struct ServiceTiming
 {
@@ -91,7 +102,11 @@ class DiskMechanism
         zoned_ = zoned;
     }
 
+    /** Lifetime mechanical activity counters. */
+    const MechCounters& counters() const { return counters_; }
+
   private:
+    MechCounters counters_;
     const DiskParams& params_;
     const DiskGeometry& geom_;
     const ZonedGeometry* zoned_ = nullptr;

@@ -32,6 +32,25 @@ struct BufferCacheStats
     std::uint64_t writeMerges = 0;   ///< Writes absorbed into dirty blocks.
     std::uint64_t evictions = 0;
     std::uint64_t dirtyWritebacks = 0;
+
+    /** Fraction of read lookups that hit. */
+    double
+    readHitRate() const
+    {
+        return readLookups
+                   ? 1.0 - static_cast<double>(readMisses) /
+                               static_cast<double>(readLookups)
+                   : 0.0;
+    }
+
+    /** Fraction of write lookups absorbed into already-dirty blocks. */
+    double
+    writeMergeRate() const
+    {
+        return writeLookups ? static_cast<double>(writeMerges) /
+                                  static_cast<double>(writeLookups)
+                            : 0.0;
+    }
 };
 
 /** Host buffer cache (LRU, write-back). */

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <cctype>
 #include <vector>
 
 namespace dtsim {
@@ -32,6 +33,42 @@ void
 setLogLevel(LogLevel level)
 {
     g_level = level;
+}
+
+bool
+parseLogLevel(const char* name, LogLevel& out)
+{
+    if (!name)
+        return false;
+    std::string s;
+    for (const char* p = name; *p; ++p)
+        s += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(*p)));
+    if (s == "quiet")
+        out = LogLevel::Quiet;
+    else if (s == "warn")
+        out = LogLevel::Warn;
+    else if (s == "inform" || s == "info")
+        out = LogLevel::Inform;
+    else if (s == "debug")
+        out = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
+
+void
+initLogLevelFromEnv()
+{
+    const char* env = std::getenv("DTSIM_LOG");
+    if (!env)
+        return;
+    LogLevel level;
+    if (parseLogLevel(env, level))
+        g_level = level;
+    else
+        warn("DTSIM_LOG: unknown level '%s' (expected quiet, warn,"
+             " inform, or debug)", env);
 }
 
 std::string

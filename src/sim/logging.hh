@@ -17,12 +17,38 @@
 
 namespace dtsim {
 
-/** Verbosity levels for status messages. */
+/**
+ * Verbosity levels for status messages. A message prints when the
+ * global level is at or above the level of the emitting call:
+ *
+ * - Quiet: nothing but fatal()/panic(), which always print (and
+ *   terminate). Use for batch sweeps whose stdout is parsed.
+ * - Warn (default): warn() messages -- suspicious-but-survivable
+ *   conditions such as a malformed trace line or an ignored option.
+ * - Inform: adds inform() -- normal operating status (progress of a
+ *   bench sweep, files written, configuration echoes).
+ * - Debug: everything; reserved for verbose diagnostic output.
+ *
+ * All messages go to stderr so stdout stays machine-readable.
+ */
 enum class LogLevel { Quiet, Warn, Inform, Debug };
 
 /** Get/set the global log level (default Warn). */
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
+
+/**
+ * Parse a level name ("quiet", "warn", "inform"/"info", "debug",
+ * case-insensitive). @return true and set `out` on success.
+ */
+bool parseLogLevel(const char* name, LogLevel& out);
+
+/**
+ * Initialize the global level from the DTSIM_LOG environment
+ * variable, if set; unknown values produce a warn(). Called by the
+ * CLI and bench front-ends at startup.
+ */
+void initLogLevelFromEnv();
 
 /** printf-style formatting into a std::string. */
 std::string strfmt(const char* fmt, ...)

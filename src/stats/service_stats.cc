@@ -1,0 +1,26 @@
+#include "stats/service_stats.hh"
+
+namespace dtsim {
+namespace stats {
+
+ServiceStats::ServiceStats(StatGroup& parent)
+    : group(parent, "service"),
+      latencyMs(group, "latency_ms",
+                "per-request completion latency (ms)", 0.0, 200.0, 40),
+      queueMs(group, "queue_ms",
+              "per-request scheduler queue wait (ms)", 0.0, 100.0, 40),
+      seekMs(group, "seek_ms",
+             "per-request seek + settle time (ms)", 0.0, 20.0, 40),
+      rotationMs(group, "rotation_ms",
+                 "per-request rotational delay (ms)", 0.0, 12.0, 40),
+      transferMs(group, "transfer_ms",
+                 "per-request media transfer time (ms)", 0.0, 20.0, 40),
+      busMs(group, "bus_ms",
+            "per-request SCSI bus transfer time (ms)", 0.0, 5.0, 40),
+      queueDepth(group, "queue_depth",
+                 "scheduler queue depth at each media enqueue")
+{
+}
+
+} // namespace stats
+} // namespace dtsim

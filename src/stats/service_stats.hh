@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-request service-time histograms.
+ *
+ * One ServiceStats instance is shared by every disk controller of a
+ * simulated system: each completed host request contributes one sample
+ * per component (queue, seek, rotation, transfer, bus) plus its
+ * end-to-end latency, and each media enqueue samples the scheduler
+ * queue depth. The owner (core/runner) dumps the group as part of
+ * --stats-out.
+ */
+
+#ifndef DTSIM_STATS_SERVICE_STATS_HH
+#define DTSIM_STATS_SERVICE_STATS_HH
+
+#include "stats/stats.hh"
+
+namespace dtsim {
+namespace stats {
+
+/** Histogram bundle for the per-request service-time breakdown. */
+class ServiceStats
+{
+  public:
+    /** Creates a "service" child group under `parent`. */
+    explicit ServiceStats(StatGroup& parent);
+
+    StatGroup group;
+
+    Histogram latencyMs;   ///< submit-to-complete latency
+    Histogram queueMs;     ///< scheduler queue wait
+    Histogram seekMs;      ///< seek + settle
+    Histogram rotationMs;  ///< rotational positioning
+    Histogram transferMs;  ///< media transfer
+    Histogram busMs;       ///< SCSI bus transfer
+
+    Distribution queueDepth;  ///< depth seen at each media enqueue
+};
+
+} // namespace stats
+} // namespace dtsim
+
+#endif // DTSIM_STATS_SERVICE_STATS_HH

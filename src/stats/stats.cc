@@ -136,6 +136,15 @@ StatGroup::StatGroup(StatGroup& parent, std::string name)
     parent.addChild(this);
 }
 
+StatGroup&
+StatGroup::makeGroup(std::string name)
+{
+    auto group = std::make_unique<StatGroup>(*this, std::move(name));
+    StatGroup& ref = *group;
+    ownedChildren_.push_back(std::move(group));
+    return ref;
+}
+
 void
 StatGroup::resetAll()
 {

@@ -14,8 +14,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dtsim {
@@ -158,6 +160,26 @@ class StatGroup
     /** Dump "prefix.name value # desc" lines for the whole subtree. */
     void print(std::ostream& os, const std::string& prefix = "") const;
 
+    /**
+     * Construct a stat of type T owned by this group. Useful when a
+     * stat tree is assembled dynamically (e.g. a snapshot report built
+     * per disk): the group keeps the object alive until it is
+     * destroyed, so callers need no separate storage.
+     */
+    template <typename T, typename... Args>
+    T&
+    make(Args&&... args)
+    {
+        auto stat = std::make_unique<T>(*this,
+                                        std::forward<Args>(args)...);
+        T& ref = *stat;
+        owned_.push_back(std::move(stat));
+        return ref;
+    }
+
+    /** Construct a child group owned by this group. */
+    StatGroup& makeGroup(std::string name);
+
   private:
     friend class StatBase;
 
@@ -167,6 +189,8 @@ class StatGroup
     std::string name_;
     std::vector<StatBase*> stats_;
     std::vector<StatGroup*> children_;
+    std::vector<std::unique_ptr<StatBase>> owned_;
+    std::vector<std::unique_ptr<StatGroup>> ownedChildren_;
 };
 
 } // namespace stats

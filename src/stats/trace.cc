@@ -1,0 +1,179 @@
+#include "stats/trace.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+const char*
+traceOutcomeName(TraceOutcome o)
+{
+    switch (o) {
+      case TraceOutcome::Media: return "media";
+      case TraceOutcome::Cache: return "cache";
+      case TraceOutcome::Hdc: return "hdc";
+    }
+    panic("traceOutcomeName: bad outcome %d", static_cast<int>(o));
+}
+
+void
+RequestTracer::open(const std::string& path)
+{
+    if (!compiledIn())
+        fatal("tracing requested but DTSIM_TRACE was OFF at build time");
+    close();
+    out_ = std::fopen(path.c_str(), "w");
+    if (!out_)
+        fatal("cannot open trace file %s for writing", path.c_str());
+    records_ = 0;
+}
+
+void
+RequestTracer::close()
+{
+    if (out_) {
+        std::fclose(out_);
+        out_ = nullptr;
+    }
+}
+
+void
+RequestTracer::writeRecord(const RequestTraceEvent& ev)
+{
+    // One record is far below 256 bytes even with every field at its
+    // maximum width; snprintf into the stack keeps the hot path free
+    // of allocation.
+    char buf[256];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"t\":%" PRIu64 ",\"disk\":%" PRIu32 ",\"lba\":%" PRIu64
+        ",\"n\":%" PRIu32 ",\"w\":%d,\"how\":\"%s\",\"q\":%" PRIu64
+        ",\"seek\":%" PRIu64 ",\"rot\":%" PRIu64 ",\"xfer\":%" PRIu64
+        ",\"bus\":%" PRIu64 ",\"lat\":%" PRIu64 "}\n",
+        ev.completed, ev.disk, ev.lba, ev.blocks, ev.isWrite ? 1 : 0,
+        traceOutcomeName(ev.outcome), ev.queue, ev.seek, ev.rotation,
+        ev.transfer, ev.bus, ev.latency);
+    if (n <= 0 || static_cast<std::size_t>(n) >= sizeof(buf))
+        panic("trace record formatting overflowed");
+    std::fwrite(buf, 1, static_cast<std::size_t>(n), out_);
+    ++records_;
+}
+
+namespace {
+
+/**
+ * Find `"key":` in `line` and parse the unsigned integer after it.
+ * Returns false if the key is absent or not followed by digits.
+ */
+bool
+parseU64Field(const std::string& line, const char* key,
+              std::uint64_t& value)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    std::size_t i = pos + needle.size();
+    if (i >= line.size() || !std::isdigit(static_cast<unsigned char>(line[i])))
+        return false;
+    std::uint64_t v = 0;
+    for (; i < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i])); ++i)
+        v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    value = v;
+    return true;
+}
+
+/** Parse the quoted string value of `"key":"..."`. */
+bool
+parseStringField(const std::string& line, const char* key,
+                 std::string& value)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const std::size_t start = pos + needle.size();
+    const std::size_t end = line.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    value = line.substr(start, end - start);
+    return true;
+}
+
+} // namespace
+
+bool
+parseTraceLine(const std::string& line, RequestTraceEvent& ev)
+{
+    std::uint64_t t, disk, lba, n, w, q, seek, rot, xfer, bus, lat;
+    std::string how;
+    if (!parseU64Field(line, "t", t) ||
+        !parseU64Field(line, "disk", disk) ||
+        !parseU64Field(line, "lba", lba) ||
+        !parseU64Field(line, "n", n) ||
+        !parseU64Field(line, "w", w) ||
+        !parseStringField(line, "how", how) ||
+        !parseU64Field(line, "q", q) ||
+        !parseU64Field(line, "seek", seek) ||
+        !parseU64Field(line, "rot", rot) ||
+        !parseU64Field(line, "xfer", xfer) ||
+        !parseU64Field(line, "bus", bus) ||
+        !parseU64Field(line, "lat", lat)) {
+        return false;
+    }
+    if (w > 1)
+        return false;
+    if (how == "media")
+        ev.outcome = TraceOutcome::Media;
+    else if (how == "cache")
+        ev.outcome = TraceOutcome::Cache;
+    else if (how == "hdc")
+        ev.outcome = TraceOutcome::Hdc;
+    else
+        return false;
+    ev.completed = t;
+    ev.disk = static_cast<std::uint32_t>(disk);
+    ev.lba = lba;
+    ev.blocks = static_cast<std::uint32_t>(n);
+    ev.isWrite = w != 0;
+    ev.queue = q;
+    ev.seek = seek;
+    ev.rotation = rot;
+    ev.transfer = xfer;
+    ev.bus = bus;
+    ev.latency = lat;
+    return true;
+}
+
+bool
+readTraceFile(const std::string& path,
+              std::vector<RequestTraceEvent>& out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        warn("cannot open trace file %s", path.c_str());
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        RequestTraceEvent ev;
+        if (!parseTraceLine(line, ev)) {
+            warn("%s:%zu: unparsable trace record", path.c_str(),
+                 lineno);
+            return false;
+        }
+        out.push_back(ev);
+    }
+    return true;
+}
+
+} // namespace dtsim

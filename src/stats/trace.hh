@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Per-request JSONL tracing.
+ *
+ * RequestTracer emits one JSON record per completed disk-level I/O:
+ * completion tick, disk, starting LBA, block count, direction, how the
+ * request was served (media / controller cache / HDC), and the service
+ * time breakdown (queue, seek, rotation, transfer, bus, total latency),
+ * all in ticks (nanoseconds).
+ *
+ * The fast path is built for near-zero overhead when tracing is off:
+ * record() is an inline null check (and compiles away entirely when the
+ * CMake option DTSIM_TRACE is OFF, which defines DTSIM_TRACE_ENABLED=0),
+ * and an enabled tracer formats into a stack buffer so no allocation
+ * happens per record.
+ *
+ * The reader side (parseTraceLine / readTraceFile) is always compiled
+ * so tools and tests can consume traces regardless of the toggle.
+ */
+
+#ifndef DTSIM_STATS_TRACE_HH
+#define DTSIM_STATS_TRACE_HH
+
+// Set by CMake from the DTSIM_TRACE option; default on for plain
+// inclusion outside the build system.
+#ifndef DTSIM_TRACE_ENABLED
+#define DTSIM_TRACE_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+/** How a traced request was ultimately served. */
+enum class TraceOutcome : std::uint8_t {
+    Media,  ///< at least one block required a media access
+    Cache,  ///< served entirely from the controller read cache
+    Hdc,    ///< served/absorbed entirely by the hot-data cache
+};
+
+/** JSON value of the "how" field for an outcome. */
+const char* traceOutcomeName(TraceOutcome o);
+
+/** One completed request, as written to / parsed from a trace. */
+struct RequestTraceEvent
+{
+    Tick completed = 0;          ///< completion tick ("t")
+    std::uint32_t disk = 0;      ///< physical disk id ("disk")
+    std::uint64_t lba = 0;       ///< first block number ("lba")
+    std::uint32_t blocks = 0;    ///< request length in blocks ("n")
+    bool isWrite = false;        ///< direction ("w": 0/1)
+    TraceOutcome outcome = TraceOutcome::Media; ///< ("how")
+    Tick queue = 0;              ///< scheduler queue wait ("q")
+    Tick seek = 0;               ///< seek + settle time ("seek")
+    Tick rotation = 0;           ///< rotational delay ("rot")
+    Tick transfer = 0;           ///< media transfer time ("xfer")
+    Tick bus = 0;                ///< SCSI bus transfer time ("bus")
+    Tick latency = 0;            ///< submit-to-complete time ("lat")
+};
+
+/**
+ * Writes request records to a JSONL file. A default-constructed tracer
+ * is disabled; open() arms it. Not thread-safe: each simulated system
+ * owns its own tracer (sweep jobs each run in one thread).
+ */
+class RequestTracer
+{
+  public:
+    RequestTracer() = default;
+    ~RequestTracer() { close(); }
+
+    RequestTracer(const RequestTracer&) = delete;
+    RequestTracer& operator=(const RequestTracer&) = delete;
+
+    /** Whether tracing support was compiled in (DTSIM_TRACE). */
+    static constexpr bool compiledIn() { return DTSIM_TRACE_ENABLED != 0; }
+
+    /**
+     * Start writing to `path` (truncates). fatal() if tracing was
+     * compiled out or the file cannot be opened.
+     */
+    void open(const std::string& path);
+
+    /** Flush and close the output file; the tracer becomes disabled. */
+    void close();
+
+    /** True when records are being written. */
+    bool
+    enabled() const
+    {
+#if DTSIM_TRACE_ENABLED
+        return out_ != nullptr;
+#else
+        return false;
+#endif
+    }
+
+    /** Record one completed request; no-op when disabled. */
+    void
+    record(const RequestTraceEvent& ev)
+    {
+#if DTSIM_TRACE_ENABLED
+        if (out_)
+            writeRecord(ev);
+#else
+        (void)ev;
+#endif
+    }
+
+    /** Number of records written since open(). */
+    std::uint64_t records() const { return records_; }
+
+  private:
+    void writeRecord(const RequestTraceEvent& ev);
+
+    std::FILE* out_ = nullptr;
+    std::uint64_t records_ = 0;
+};
+
+/**
+ * Parse one JSONL trace line into `ev`. Returns false (leaving `ev`
+ * unspecified) if any required field is missing or malformed.
+ */
+bool parseTraceLine(const std::string& line, RequestTraceEvent& ev);
+
+/**
+ * Read a whole trace file. Returns false and warns on open failure or
+ * on the first unparsable line. Blank lines are ignored.
+ */
+bool readTraceFile(const std::string& path,
+                   std::vector<RequestTraceEvent>& out);
+
+} // namespace dtsim
+
+#endif // DTSIM_STATS_TRACE_HH

@@ -232,6 +232,7 @@ makeServerWorkload(const ServerModelParams& params,
     std::vector<ArrayBlock> dirty = cache.sync();
     emitWritebacks(dirty, job++, w.trace);
 
+    w.bufferCache = cache.stats();
     return w;
 }
 

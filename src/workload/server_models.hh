@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "fs/buffer_cache.hh"
 #include "fs/file_layout.hh"
 #include "fs/prefetcher.hh"
 #include "workload/trace.hh"
@@ -133,6 +134,9 @@ struct ServerWorkload
     ServerModelParams params;
     std::unique_ptr<FileSystemImage> image;
     Trace trace;
+
+    /** Buffer-cache statistics of the generating run. */
+    BufferCacheStats bufferCache;
 };
 
 /**

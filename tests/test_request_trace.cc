@@ -1,0 +1,293 @@
+/** @file End-to-end tests of request tracing and the stats wiring. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/sweep.hh"
+#include "stats/trace.hh"
+#include "workload/synthetic.hh"
+
+namespace dtsim {
+namespace {
+
+SystemConfig
+testConfig(SystemKind kind = SystemKind::Segm)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.disks = 4;
+    cfg.streams = 16;
+    cfg.workers = 8;
+    cfg.stripeUnitBytes = 128 * kKiB;
+    return cfg;
+}
+
+Trace
+testTrace(std::uint64_t requests = 300, double writes = 0.1)
+{
+    SyntheticParams sp;
+    sp.numFiles = 20000;
+    sp.fileSizeBytes = 16 * kKiB;
+    sp.numRequests = requests;
+    sp.zipfAlpha = 0.4;
+    sp.writeProb = writes;
+    const SystemConfig cfg = testConfig();
+    return makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks())
+        .trace;
+}
+
+/** Compare every RunResult field that tracing must not perturb. */
+void
+expectSameResults(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.ioTime, b.ioTime);
+    EXPECT_EQ(a.flushTime, b.flushTime);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.blocks, b.blocks);
+    EXPECT_EQ(a.agg.reads, b.agg.reads);
+    EXPECT_EQ(a.agg.writes, b.agg.writes);
+    EXPECT_EQ(a.agg.cacheHitRequests, b.agg.cacheHitRequests);
+    EXPECT_EQ(a.agg.mediaAccesses, b.agg.mediaAccesses);
+    EXPECT_EQ(a.agg.seekTime, b.agg.seekTime);
+    EXPECT_EQ(a.agg.queueTime, b.agg.queueTime);
+    EXPECT_EQ(a.agg.busTime, b.agg.busTime);
+    EXPECT_EQ(a.agg.latencySum, b.agg.latencySum);
+    EXPECT_EQ(a.ra.specInserted, b.ra.specInserted);
+    EXPECT_EQ(a.ra.specUsed, b.ra.specUsed);
+    EXPECT_EQ(a.ra.specWasted, b.ra.specWasted);
+    EXPECT_DOUBLE_EQ(a.meanLatencyMs, b.meanLatencyMs);
+}
+
+TEST(RequestTrace, RecordsMatchSimulatedRequests)
+{
+    if (!RequestTracer::compiledIn())
+        GTEST_SKIP() << "tracing compiled out (DTSIM_TRACE=OFF)";
+
+    const std::string path = "/tmp/dtsim_reqtrace_match.jsonl";
+    const Trace trace = testTrace();
+    RunOptions opts;
+    opts.tracePath = path;
+    const RunResult r = runTrace(testConfig(), trace, opts);
+
+    std::vector<RequestTraceEvent> events;
+    ASSERT_TRUE(readTraceFile(path, events));
+    std::remove(path.c_str());
+
+    // One record per host request, none lost or duplicated.
+    EXPECT_EQ(r.traceRecords, events.size());
+    EXPECT_EQ(events.size(), r.agg.reads + r.agg.writes);
+
+    std::uint64_t media = 0, cache_served = 0, hdc = 0;
+    std::uint64_t blocks = 0, writes = 0;
+    Tick queue = 0, seek = 0, rot = 0, xfer = 0, bus = 0, lat = 0;
+    for (const RequestTraceEvent& ev : events) {
+        switch (ev.outcome) {
+          case TraceOutcome::Media: ++media; break;
+          case TraceOutcome::Cache: ++cache_served; break;
+          case TraceOutcome::Hdc: ++hdc; break;
+        }
+        blocks += ev.blocks;
+        writes += ev.isWrite ? 1 : 0;
+        queue += ev.queue;
+        seek += ev.seek;
+        rot += ev.rotation;
+        xfer += ev.transfer;
+        bus += ev.bus;
+        lat += ev.latency;
+        EXPECT_LT(ev.disk, 4u);
+        EXPECT_GE(ev.latency,
+                  ev.queue + ev.seek + ev.rotation + ev.transfer);
+    }
+
+    // Outcome attribution reconciles with the controller counters.
+    EXPECT_EQ(cache_served + hdc, r.agg.cacheHitRequests);
+    EXPECT_EQ(hdc, r.agg.hdcHitRequests);
+    EXPECT_EQ(media,
+              r.agg.reads + r.agg.writes - r.agg.cacheHitRequests);
+
+    // Per-record breakdowns sum to the aggregate counters. Without
+    // HDC there are no background flush jobs, so media time is fully
+    // attributed to traced (host) requests.
+    EXPECT_EQ(blocks, r.agg.readBlocks + r.agg.writeBlocks);
+    EXPECT_EQ(writes, r.agg.writes);
+    EXPECT_EQ(queue, r.agg.queueTime);
+    EXPECT_EQ(bus, r.agg.busTime);
+    EXPECT_EQ(lat, r.agg.latencySum);
+    EXPECT_EQ(seek, r.agg.seekTime);
+    EXPECT_EQ(rot, r.agg.rotTime);
+    EXPECT_EQ(xfer, r.agg.xferTime);
+}
+
+TEST(RequestTrace, DisabledTracerChangesNothingAndWritesNothing)
+{
+    const std::string path = "/tmp/dtsim_reqtrace_off.jsonl";
+    std::remove(path.c_str());
+    const Trace trace = testTrace();
+
+    const RunResult plain = runTrace(testConfig(), trace);
+    const RunResult with_opts =
+        runTrace(testConfig(), trace, RunOptions{});
+    expectSameResults(plain, with_opts);
+    EXPECT_EQ(with_opts.traceRecords, 0u);
+
+    // No tracePath given: no file appears.
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    EXPECT_EQ(f, nullptr);
+    if (f)
+        std::fclose(f);
+}
+
+TEST(RequestTrace, TracingDoesNotPerturbResults)
+{
+    if (!RequestTracer::compiledIn())
+        GTEST_SKIP() << "tracing compiled out (DTSIM_TRACE=OFF)";
+
+    const std::string path = "/tmp/dtsim_reqtrace_perturb.jsonl";
+    const Trace trace = testTrace();
+
+    const RunResult plain = runTrace(testConfig(), trace);
+    RunOptions opts;
+    opts.tracePath = path;
+    std::ostringstream stats;
+    opts.statsStream = &stats;
+    const RunResult traced = runTrace(testConfig(), trace, opts);
+    std::remove(path.c_str());
+
+    expectSameResults(plain, traced);
+    EXPECT_GT(traced.traceRecords, 0u);
+}
+
+TEST(RequestTrace, BackToBackRunsAreIdentical)
+{
+    const Trace trace = testTrace();
+    RunOptions opts;
+    std::ostringstream s1, s2;
+
+    opts.statsStream = &s1;
+    const RunResult r1 = runTrace(testConfig(), trace, opts);
+    opts.statsStream = &s2;
+    const RunResult r2 = runTrace(testConfig(), trace, opts);
+
+    // Stat registration is per-run: the second run starts from fresh
+    // groups and produces a byte-identical dump.
+    expectSameResults(r1, r2);
+    EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(RequestTrace, StatsDumpContainsDocumentedNames)
+{
+    const Trace trace = testTrace();
+    RunOptions opts;
+    std::ostringstream stats;
+    opts.statsStream = &stats;
+    const RunResult r = runTrace(testConfig(), trace, opts);
+    const std::string out = stats.str();
+
+    // Spot-check one name from each section of docs/METRICS.md.
+    for (const char* name :
+         {"sim.io_time_ms", "sim.requests", "sim.cache.hit_rate",
+          "sim.read_ahead.accuracy", "sim.media.queue_ms",
+          "sim.config.disks", "sim.bus.utilization",
+          "sim.disk0.reads", "sim.disk0.sched.depth_max",
+          "sim.disk0.mech.seeks", "sim.service.latency_ms.count",
+          "sim.service.queue_depth.count"}) {
+        EXPECT_NE(out.find(name), std::string::npos)
+            << "missing " << name;
+    }
+
+    // The dump's request count is the run's.
+    const std::string needle =
+        "sim.requests " + std::to_string(r.requests);
+    EXPECT_NE(out.find(needle), std::string::npos);
+}
+
+TEST(RequestTrace, SweepAggregationMatchesSerial)
+{
+    const Trace trace = testTrace(200);
+    std::vector<SweepJob> jobs;
+    for (SystemKind k : {SystemKind::Segm, SystemKind::Block,
+                         SystemKind::NoRA, SystemKind::Segm}) {
+        SweepJob job;
+        job.cfg = testConfig(k);
+        job.trace = &trace;
+        jobs.push_back(job);
+    }
+
+    const std::vector<RunResult> serial = runSweep(jobs, 1);
+    const std::vector<RunResult> parallel = runSweep(jobs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameResults(serial[i], parallel[i]);
+
+    const ControllerStats a = aggregateSweepStats(serial);
+    const ControllerStats b = aggregateSweepStats(parallel);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.mediaAccesses, b.mediaAccesses);
+    EXPECT_EQ(a.queueTime, b.queueTime);
+    EXPECT_EQ(a.latencySum, b.latencySum);
+    EXPECT_EQ(a.latencyMax, b.latencyMax);
+
+    const RaCounters ra = aggregateSweepRa(serial);
+    const RaCounters rb = aggregateSweepRa(parallel);
+    EXPECT_EQ(ra.specInserted, rb.specInserted);
+    EXPECT_EQ(ra.specUsed, rb.specUsed);
+    EXPECT_EQ(ra.specWasted, rb.specWasted);
+}
+
+TEST(TraceParse, RoundTripsAndRejectsGarbage)
+{
+    RequestTraceEvent ev;
+    const std::string good =
+        "{\"t\":123,\"disk\":2,\"lba\":4096,\"n\":8,\"w\":1,"
+        "\"how\":\"hdc\",\"q\":10,\"seek\":20,\"rot\":30,"
+        "\"xfer\":40,\"bus\":50,\"lat\":150}";
+    ASSERT_TRUE(parseTraceLine(good, ev));
+    EXPECT_EQ(ev.completed, 123u);
+    EXPECT_EQ(ev.disk, 2u);
+    EXPECT_EQ(ev.lba, 4096u);
+    EXPECT_EQ(ev.blocks, 8u);
+    EXPECT_TRUE(ev.isWrite);
+    EXPECT_EQ(ev.outcome, TraceOutcome::Hdc);
+    EXPECT_EQ(ev.queue, 10u);
+    EXPECT_EQ(ev.rotation, 30u);
+    EXPECT_EQ(ev.latency, 150u);
+
+    EXPECT_FALSE(parseTraceLine("", ev));
+    EXPECT_FALSE(parseTraceLine("not json", ev));
+    EXPECT_FALSE(parseTraceLine("{\"t\":1}", ev));
+    // Bad direction and unknown outcome.
+    std::string bad = good;
+    bad.replace(bad.find("\"w\":1"), 5, "\"w\":7");
+    EXPECT_FALSE(parseTraceLine(bad, ev));
+    bad = good;
+    bad.replace(bad.find("hdc"), 3, "dvd");
+    EXPECT_FALSE(parseTraceLine(bad, ev));
+}
+
+TEST(RequestTrace, PeriodicSnapshotsLeaveResultsIntact)
+{
+    const Trace trace = testTrace(150);
+
+    const RunResult plain = runTrace(testConfig(), trace);
+
+    RunOptions opts;
+    std::ostringstream stats;
+    opts.statsStream = &stats;
+    opts.statsIntervalTicks = fromMicros(2000);
+    const RunResult snap = runTrace(testConfig(), trace, opts);
+
+    expectSameResults(plain, snap);
+
+    // At least one mid-run snapshot plus the final dump appeared.
+    const std::string out = stats.str();
+    EXPECT_NE(out.find("# snapshot @"), std::string::npos);
+    EXPECT_NE(out.find("sim.io_time_ms"), std::string::npos);
+}
+
+} // namespace
+} // namespace dtsim

@@ -135,6 +135,29 @@ TEST(Distribution, WelfordMatchesNaiveOnRandomData)
     EXPECT_NEAR(d.variance(), var, 1e-6);
 }
 
+TEST(StatGroup, MakeOwnsStatsAndGroups)
+{
+    StatGroup root("sim");
+    Scalar& a = root.make<Scalar>("a", "an owned counter");
+    a += 3;
+    StatGroup& child = root.makeGroup("disk0");
+    Scalar& b = child.make<Scalar>("b", "");
+    b += 7;
+    child.make<Histogram>("h", "", 0.0, 10.0, 5).sample(4.0);
+
+    std::ostringstream os;
+    root.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sim.a 3"), std::string::npos);
+    EXPECT_NE(out.find("sim.disk0.b 7"), std::string::npos);
+    EXPECT_NE(out.find("sim.disk0.h.count 1"), std::string::npos);
+    EXPECT_NE(out.find("# an owned counter"), std::string::npos);
+
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
 } // namespace
 } // namespace stats
 } // namespace dtsim

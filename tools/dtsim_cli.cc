@@ -22,6 +22,7 @@
 #include "core/sweep.hh"
 #include "hdc/hdc_planner.hh"
 #include "sim/logging.hh"
+#include "stats/trace.hh"
 #include "workload/server_models.hh"
 #include "workload/synthetic.hh"
 
@@ -58,7 +59,19 @@ usage()
         "  --workers N         I/O thread pool (default streams)\n"
         "  --sched fcfs|look|clook|sstf          (default look)\n"
         "  --zones N           recording zones (default 0 = flat)\n"
-        "  --seed N            RNG seed\n");
+        "  --seed N            RNG seed\n"
+        "observability (docs/METRICS.md documents every name):\n"
+        "  --stats-out FILE    write the full stats dump to FILE;\n"
+        "                      with --system all, one file per kind\n"
+        "                      (FILE.Segm, FILE.Block, FILE.No-RA,\n"
+        "                      FILE.FOR)\n"
+        "  --trace FILE        write one JSONL record per completed\n"
+        "                      request (needs -DDTSIM_TRACE=ON);\n"
+        "                      suffixed per kind under --system all\n"
+        "  --stats-interval T  also snapshot stats every T ticks (ns)\n"
+        "                      of simulated time\n"
+        "  --log-level L       quiet|warn|inform|debug (also the\n"
+        "                      DTSIM_LOG environment variable)\n");
 }
 
 const char*
@@ -110,6 +123,9 @@ main(int argc, char** argv)
     std::string hdc_policy = "pinned";
     bool all_systems = false;
     unsigned jobs = 0;
+    RunOptions opts;
+
+    initLogLevelFromEnv();
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -168,6 +184,19 @@ main(int argc, char** argv)
         } else if (a == "--zones") {
             cfg.disk.recordingZones = static_cast<unsigned>(
                 std::atoi(arg(argc, argv, i)));
+        } else if (a == "--stats-out") {
+            opts.statsOutPath = arg(argc, argv, i);
+        } else if (a == "--trace") {
+            opts.tracePath = arg(argc, argv, i);
+        } else if (a == "--stats-interval") {
+            opts.statsIntervalTicks =
+                std::strtoull(arg(argc, argv, i), nullptr, 10);
+        } else if (a == "--log-level") {
+            const char* name = arg(argc, argv, i);
+            LogLevel level;
+            if (!parseLogLevel(name, level))
+                fatal("unknown log level '%s'", name);
+            setLogLevel(level);
         } else if (a == "--seed") {
             cfg.seed = std::strtoull(arg(argc, argv, i), nullptr,
                                      10);
@@ -186,9 +215,14 @@ main(int argc, char** argv)
     const std::uint64_t capacity =
         cfg.disks * cfg.disk.totalBlocks();
 
+    if (!opts.tracePath.empty() && !RequestTracer::compiledIn())
+        fatal("--trace: tracing was compiled out; reconfigure with "
+              "-DDTSIM_TRACE=ON");
+
     // Build or load the workload.
     Trace trace;
     std::unique_ptr<FileSystemImage> image;
+    BufferCacheStats fs_stats;
     if (!load_trace.empty()) {
         trace = loadTrace(load_trace);
         std::printf("loaded %zu records from %s\n", trace.size(),
@@ -214,6 +248,8 @@ main(int argc, char** argv)
         ServerWorkload w = makeServerWorkload(p, capacity);
         trace = std::move(w.trace);
         image = std::move(w.image);
+        fs_stats = w.bufferCache;
+        opts.fsStats = &fs_stats;
     }
 
     const TraceStats ts = computeStats(trace);
@@ -261,6 +297,14 @@ main(int argc, char** argv)
             job.trace = &trace;
             job.bitmaps = bitmaps.empty() ? nullptr : &bitmaps;
             job.pinned = pp;
+            // Each job gets its own output files, suffixed by kind.
+            job.opts = opts;
+            if (!opts.statsOutPath.empty())
+                job.opts.statsOutPath = opts.statsOutPath + "." +
+                                        systemKindName(k);
+            if (!opts.tracePath.empty())
+                job.opts.tracePath = opts.tracePath + "." +
+                                     systemKindName(k);
             sweep.push_back(std::move(job));
         }
         const std::vector<RunResult> results = runSweep(sweep, jobs);
@@ -281,7 +325,13 @@ main(int argc, char** argv)
     }
 
     const RunResult r = runTrace(
-        cfg, trace, bitmaps.empty() ? nullptr : &bitmaps, pp);
+        cfg, trace, opts, bitmaps.empty() ? nullptr : &bitmaps, pp);
     printReport(std::cout, cfg, r);
+    if (!opts.statsOutPath.empty())
+        inform("wrote stats dump to %s", opts.statsOutPath.c_str());
+    if (!opts.tracePath.empty())
+        inform("wrote %llu trace records to %s",
+               static_cast<unsigned long long>(r.traceRecords),
+               opts.tracePath.c_str());
     return 0;
 }

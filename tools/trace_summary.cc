@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Trace analyzer: read a JSONL request trace written by --trace and
+ * print latency percentiles plus a cache-attribution table, the
+ * numbers the paper's FOR accuracy and HDC hit-rate discussions rest
+ * on. EXPERIMENTS.md shows how its output reconciles with the
+ * --stats-out dump of the same run.
+ *
+ * Usage: trace_summary FILE [FILE...]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "stats/trace.hh"
+
+using namespace dtsim;
+
+namespace {
+
+/** Per-outcome accumulation. */
+struct OutcomeTotals
+{
+    std::uint64_t requests = 0;
+    std::uint64_t blocks = 0;
+    Tick latency = 0;
+};
+
+double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole ? 100.0 * static_cast<double>(part) /
+                       static_cast<double>(whole)
+                 : 0.0;
+}
+
+/** k-th percentile (0-100) of a sorted tick vector, in ms. */
+double
+percentileMs(const std::vector<Tick>& sorted, double k)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        k / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t i = static_cast<std::size_t>(rank);
+    return toMillis(sorted[std::min(i, sorted.size() - 1)]);
+}
+
+int
+summarize(const std::string& path)
+{
+    std::vector<RequestTraceEvent> events;
+    if (!readTraceFile(path, events))
+        return 1;
+
+    std::printf("trace: %s\n", path.c_str());
+    if (events.empty()) {
+        std::printf("  (empty)\n");
+        return 0;
+    }
+
+    std::uint64_t blocks = 0;
+    std::uint64_t writes = 0;
+    OutcomeTotals by_outcome[3];
+    Tick queue = 0, seek = 0, rotation = 0, transfer = 0, bus = 0,
+         latency = 0;
+    std::vector<Tick> lats;
+    lats.reserve(events.size());
+
+    for (const RequestTraceEvent& ev : events) {
+        blocks += ev.blocks;
+        writes += ev.isWrite ? 1 : 0;
+        OutcomeTotals& o =
+            by_outcome[static_cast<std::size_t>(ev.outcome)];
+        ++o.requests;
+        o.blocks += ev.blocks;
+        o.latency += ev.latency;
+        queue += ev.queue;
+        seek += ev.seek;
+        rotation += ev.rotation;
+        transfer += ev.transfer;
+        bus += ev.bus;
+        latency += ev.latency;
+        lats.push_back(ev.latency);
+    }
+
+    const std::uint64_t n = events.size();
+    std::printf("  requests: %llu  blocks: %llu  writes: %.1f%%\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(blocks),
+                pct(writes, n));
+
+    std::printf("  served by:  %-10s %-12s %-8s %-12s %s\n",
+                "outcome", "requests", "share", "blocks",
+                "mean lat(ms)");
+    const TraceOutcome outcomes[] = {TraceOutcome::Media,
+                                     TraceOutcome::Cache,
+                                     TraceOutcome::Hdc};
+    for (TraceOutcome oc : outcomes) {
+        const OutcomeTotals& o =
+            by_outcome[static_cast<std::size_t>(oc)];
+        char share[16];
+        std::snprintf(share, sizeof(share), "%.1f%%",
+                      pct(o.requests, n));
+        std::printf("              %-10s %-12llu %-8s %-12llu "
+                    "%.3f\n",
+                    traceOutcomeName(oc),
+                    static_cast<unsigned long long>(o.requests),
+                    share,
+                    static_cast<unsigned long long>(o.blocks),
+                    o.requests ? toMillis(o.latency) /
+                                     static_cast<double>(o.requests)
+                               : 0.0);
+    }
+
+    std::printf("  time (ms):  queue=%.3f seek=%.3f rotation=%.3f "
+                "transfer=%.3f bus=%.3f latency=%.3f\n",
+                toMillis(queue), toMillis(seek), toMillis(rotation),
+                toMillis(transfer), toMillis(bus), toMillis(latency));
+
+    std::sort(lats.begin(), lats.end());
+    std::printf("  latency (ms): p50=%.3f p90=%.3f p99=%.3f "
+                "max=%.3f mean=%.3f\n",
+                percentileMs(lats, 50.0), percentileMs(lats, 90.0),
+                percentileMs(lats, 99.0), toMillis(lats.back()),
+                toMillis(latency) / static_cast<double>(n));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    initLogLevelFromEnv();
+
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: trace_summary FILE [FILE...]\n");
+        return 2;
+    }
+
+    int rc = 0;
+    for (int i = 1; i < argc; ++i)
+        rc |= summarize(argv[i]);
+    return rc;
+}
