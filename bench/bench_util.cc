@@ -5,14 +5,21 @@
 #include <iterator>
 #include <utility>
 
+#include "sim/logging.hh"
+
 namespace dtsim {
 namespace bench {
 
 double
 workloadScale()
 {
-    if (const char* env = std::getenv("DTSIM_BENCH_SCALE"))
-        return std::atof(env);
+    if (const char* env = std::getenv("DTSIM_BENCH_SCALE")) {
+        double scale = 0.0;
+        std::string err;
+        if (!config::parseValue(env, scale, err))
+            fatal("DTSIM_BENCH_SCALE: %s", err.c_str());
+        return scale;
+    }
     return 0.2;
 }
 
@@ -95,148 +102,135 @@ runSystems(const std::vector<SystemSpec>& specs)
     return runSweep(jobs);
 }
 
+namespace {
+
+/** Print the workload line that opens every figure table. */
 void
-stripingSweep(const ServerModelParams& params,
-              const std::string& figure_title)
+printWorkloadLine(WorkloadKind workload, const Trace& trace)
 {
-    printHeader(figure_title);
-
-    SystemConfig base;
-    base.streams = params.streams;
-
-    // Build the workload once; bitmaps depend on the striping unit,
-    // so they are rebuilt inside the sweep.
-    ServerWorkload w =
-        makeServerWorkload(params, base.disks *
-                                       base.disk.totalBlocks());
-    const TraceStats ts = computeStats(w.trace);
+    const TraceStats ts = computeStats(trace);
     std::printf("workload: %s  records=%llu  blocks=%llu  "
                 "writes=%.1f%%  distinct=%llu  max-block-accesses=%llu\n",
-                params.name.c_str(),
+                workloadKindTokens().format(workload).c_str(),
                 static_cast<unsigned long long>(ts.records),
                 static_cast<unsigned long long>(ts.blocks),
                 ts.writeRecordFraction * 100.0,
                 static_cast<unsigned long long>(ts.distinctBlocks),
                 static_cast<unsigned long long>(ts.maxBlockAccesses));
+}
+
+std::vector<SweepPoint>
+expandOrDie(const SweepSpec& spec)
+{
+    std::string err;
+    std::vector<SweepPoint> points = expandSweep(spec, err);
+    if (points.empty())
+        fatal("sweep expansion failed: %s", err.c_str());
+    return points;
+}
+
+} // namespace
+
+SweepSpec
+stripingSweepSpec(WorkloadKind workload, double scale)
+{
+    SweepSpec spec;
+    spec.base.workload = workload;
+    spec.base.scale = scale;
+
+    // Row-major figure layout: unit rows (slowest axis), then the
+    // Segm / Segm+HDC / FOR / FOR+HDC columns.
+    const std::uint64_t units_kb[] = {4, 8, 16, 32, 64, 128, 192, 256};
+    SweepAxis units{"system.stripe_unit_bytes", {}};
+    for (std::uint64_t kb : units_kb)
+        units.values.push_back(std::to_string(kb * kKiB));
+    spec.axes.push_back(std::move(units));
+    spec.axes.push_back({"system.kind", {"segm", "for"}});
+    spec.axes.push_back({"system.hdc_bytes_per_disk",
+                         {"0", std::to_string(2 * kMiB)}});
+    return spec;
+}
+
+SweepSpec
+hdcSweepSpec(WorkloadKind workload, double scale,
+             std::uint64_t stripe_unit_bytes)
+{
+    SweepSpec spec;
+    spec.base.workload = workload;
+    spec.base.scale = scale;
+    spec.base.system.stripeUnitBytes = stripe_unit_bytes;
+
+    const std::uint64_t sizes_kb[] = {0,    256,  512,  1024,
+                                      1536, 2048, 2560, 3072};
+    SweepAxis sizes{"system.hdc_bytes_per_disk", {}};
+    for (std::uint64_t kb : sizes_kb)
+        sizes.values.push_back(std::to_string(kb * kKiB));
+    spec.axes.push_back(std::move(sizes));
+    spec.axes.push_back({"system.kind", {"segm", "for"}});
+    return spec;
+}
+
+void
+stripingSweep(WorkloadKind workload, double scale,
+              const std::string& figure_title)
+{
+    printHeader(figure_title);
+
+    const SweepSpec spec = stripingSweepSpec(workload, scale);
+    std::vector<SweepPoint> points = expandOrDie(spec);
+
+    // The cache builds the (shared) workload once for the whole grid;
+    // warm it first so the workload line prints before the runs.
+    SweepCache cache;
+    printWorkloadLine(workload, cache.workload(spec.base).trace);
+
+    const std::vector<RunResult> results =
+        runSweepPoints(points, cache);
 
     const std::vector<int> widths{12, 12, 12, 12, 12};
     printRow({"unit(KB)", "Segm", "Segm+HDC", "FOR", "FOR+HDC"},
              widths);
-
-    // Build every (unit, system) job up front, then run the whole
-    // figure through the parallel sweep runner in one batch.
-    const std::uint64_t units_kb[] = {4, 8, 16, 32, 64, 128, 192, 256};
-    const std::size_t n_units = std::size(units_kb);
-    const std::uint64_t hdc = 2 * kMiB;
-
-    std::vector<std::vector<LayoutBitmap>> unit_bitmaps(n_units);
-    std::vector<SystemSpec> specs;
-    specs.reserve(n_units * 4);
-    for (std::size_t i = 0; i < n_units; ++i) {
-        SystemConfig cfg = base;
-        cfg.stripeUnitBytes = units_kb[i] * kKiB;
-
-        StripingMap striping(cfg.disks,
-                             cfg.stripeUnitBytes / cfg.disk.blockSize,
-                             cfg.disk.totalBlocks());
-        unit_bitmaps[i] = w.image->buildBitmaps(striping);
-
-        const std::pair<SystemKind, std::uint64_t> systems[] = {
-            {SystemKind::Segm, 0}, {SystemKind::Segm, hdc},
-            {SystemKind::FOR, 0}, {SystemKind::FOR, hdc}};
-        for (const auto& [kind, budget] : systems) {
-            SystemSpec spec;
-            spec.kind = kind;
-            spec.hdcBytes = budget;
-            spec.base = cfg;
-            spec.trace = &w.trace;
-            spec.bitmaps = &unit_bitmaps[i];
-            specs.push_back(std::move(spec));
-        }
-    }
-
-    const std::vector<RunResult> results = runSystems(specs);
-    for (std::size_t i = 0; i < n_units; ++i) {
-        const RunResult* row = &results[i * 4];
-        printRow({std::to_string(units_kb[i]),
-                  fmt(toSeconds(row[0].ioTime)),
-                  fmt(toSeconds(row[1].ioTime)),
-                  fmt(toSeconds(row[2].ioTime)),
-                  fmt(toSeconds(row[3].ioTime))},
+    for (std::size_t i = 0; i + 3 < results.size(); i += 4) {
+        const std::uint64_t unit =
+            points[i].cfg.system.stripeUnitBytes;
+        printRow({std::to_string(unit / kKiB),
+                  fmt(toSeconds(results[i + 0].ioTime)),
+                  fmt(toSeconds(results[i + 1].ioTime)),
+                  fmt(toSeconds(results[i + 2].ioTime)),
+                  fmt(toSeconds(results[i + 3].ioTime))},
                  widths);
     }
 }
 
 void
-hdcSweep(const ServerModelParams& params,
+hdcSweep(WorkloadKind workload, double scale,
          std::uint64_t stripe_unit_bytes,
          const std::string& figure_title)
 {
     printHeader(figure_title);
 
-    SystemConfig base;
-    base.streams = params.streams;
-    base.stripeUnitBytes = stripe_unit_bytes;
+    const SweepSpec spec =
+        hdcSweepSpec(workload, scale, stripe_unit_bytes);
+    std::vector<SweepPoint> points = expandOrDie(spec);
 
-    ServerWorkload w =
-        makeServerWorkload(params, base.disks *
-                                       base.disk.totalBlocks());
-
-    StripingMap striping(base.disks,
-                         base.stripeUnitBytes / base.disk.blockSize,
-                         base.disk.totalBlocks());
-    const std::vector<LayoutBitmap> bitmaps =
-        w.image->buildBitmaps(striping);
+    SweepCache cache;
+    const std::vector<RunResult> results =
+        runSweepPoints(points, cache);
 
     const std::vector<int> widths{12, 14, 14, 14, 14};
     printRow({"HDC(KB)", "Segm+HDC(s)", "FOR+HDC(s)", "hitSegm",
               "hitFOR"},
              widths);
-
-    // Batch every feasible (size, system) job into one parallel
-    // sweep, then print the rows in size order.
-    const std::uint64_t sizes_kb[] = {0,    256,  512,  1024,
-                                      1536, 2048, 2560, 3072};
-    std::vector<SystemSpec> specs;
-    std::vector<int> for_index(std::size(sizes_kb), -1);
-    for (std::size_t i = 0; i < std::size(sizes_kb); ++i) {
-        const std::uint64_t hdc = sizes_kb[i] * kKiB;
-
-        SystemSpec segm;
-        segm.kind = SystemKind::Segm;
-        segm.hdcBytes = hdc;
-        segm.base = base;
-        segm.trace = &w.trace;
-        segm.bitmaps = &bitmaps;
-        specs.push_back(std::move(segm));
-
-        // FOR additionally spends bitmap space; skip infeasible
-        // points (the paper's FOR+HDC curve stops early too).
-        const std::uint64_t bitmap = base.disk.bitmapBytes();
-        const bool for_fits =
-            hdc + bitmap + 256 * kKiB <= base.disk.usableCacheBytes();
-        if (for_fits) {
-            SystemSpec forr = specs.back();
-            forr.kind = SystemKind::FOR;
-            for_index[i] = static_cast<int>(specs.size());
-            specs.push_back(std::move(forr));
-        }
-    }
-
-    const std::vector<RunResult> results = runSystems(specs);
-    std::size_t next = 0;
-    for (std::size_t i = 0; i < std::size(sizes_kb); ++i) {
-        const RunResult& segm = results[next++];
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        const RunResult& segm = results[i];
         std::string for_time = "-";
         std::string for_hit = "-";
-        if (for_index[i] >= 0) {
-            const RunResult& forr =
-                results[static_cast<std::size_t>(for_index[i])];
-            for_time = fmt(toSeconds(forr.ioTime));
-            for_hit = fmtPct(forr.hdcHitRate);
-            ++next;
+        if (points[i + 1].feasible) {
+            for_time = fmt(toSeconds(results[i + 1].ioTime));
+            for_hit = fmtPct(results[i + 1].hdcHitRate);
         }
-        printRow({std::to_string(sizes_kb[i]),
+        printRow({std::to_string(
+                      points[i].cfg.system.hdcBytesPerDisk / kKiB),
                   fmt(toSeconds(segm.ioTime)), for_time,
                   fmtPct(segm.hdcHitRate), for_hit},
                  widths);

@@ -3,6 +3,12 @@
  * Shared helpers for the figure/table reproduction benches: standard
  * workload scales, aligned table printing, and the Segm baseline
  * normalization the paper uses.
+ *
+ * The figure sweeps (stripingSweep / hdcSweep) are data-driven: they
+ * build a config-layer SweepSpec (the same grids ship as .conf files
+ * under examples/sweeps/ for dtsim_cli --sweep) and execute it through
+ * the core sweep driver, so a figure bench and the equivalent config
+ * file produce identical numbers.
  */
 
 #ifndef DTSIM_BENCH_BENCH_UTIL_HH
@@ -12,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "config/sweep_spec.hh"
 #include "core/runner.hh"
 #include "core/sweep.hh"
+#include "core/sweep_driver.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/server_models.hh"
 #include "workload/synthetic.hh"
@@ -23,9 +31,9 @@ namespace bench {
 
 /**
  * Request-count scale for the real-workload models, overridable with
- * the DTSIM_BENCH_SCALE environment variable. The default keeps the
- * full bench suite within minutes; EXPERIMENTS.md records the value
- * used.
+ * the DTSIM_BENCH_SCALE environment variable (checked parse; junk is
+ * fatal). The default keeps the full bench suite within minutes;
+ * EXPERIMENTS.md records the value used.
  */
 double workloadScale();
 
@@ -78,18 +86,31 @@ struct SystemSpec
 std::vector<RunResult> runSystems(const std::vector<SystemSpec>& specs);
 
 /**
+ * The Figure 7/9/11 grid for one server workload: striping unit
+ * {4..256} KB x {Segm, FOR} x HDC {0, 2 MiB}. examples/sweeps/
+ * ships the same grids as .conf files.
+ */
+SweepSpec stripingSweepSpec(WorkloadKind workload, double scale);
+
+/** The Figure 8/10/12 grid: HDC size {0..3072} KB x {Segm, FOR}. */
+SweepSpec hdcSweepSpec(WorkloadKind workload, double scale,
+                       std::uint64_t stripe_unit_bytes);
+
+/**
  * A striping-unit sweep over one server workload: reproduces the
  * Figure 7/9/11 shape (I/O time vs unit size for Segm, Segm+HDC,
  * FOR, FOR+HDC).
  */
-void stripingSweep(const ServerModelParams& params,
+void stripingSweep(WorkloadKind workload, double scale,
                    const std::string& figure_title);
 
 /**
  * An HDC-size sweep over one server workload at a fixed striping
- * unit: reproduces the Figure 8/10/12 shape.
+ * unit: reproduces the Figure 8/10/12 shape. FOR points whose HDC +
+ * bitmap budget exceeds the controller cache come back infeasible and
+ * print "-" (the paper's FOR+HDC curves stop early too).
  */
-void hdcSweep(const ServerModelParams& params,
+void hdcSweep(WorkloadKind workload, double scale,
               std::uint64_t stripe_unit_bytes,
               const std::string& figure_title);
 

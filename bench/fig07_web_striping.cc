@@ -11,7 +11,7 @@ main()
 {
     using namespace dtsim;
     bench::stripingSweep(
-        webServerParams(bench::workloadScale()),
+        WorkloadKind::Web, bench::workloadScale(),
         "Figure 7: Web server - I/O time vs striping unit");
     return 0;
 }

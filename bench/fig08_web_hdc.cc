@@ -11,7 +11,7 @@ main()
 {
     using namespace dtsim;
     bench::hdcSweep(
-        webServerParams(bench::workloadScale()), 16 * kKiB,
+        WorkloadKind::Web, bench::workloadScale(), 16 * kKiB,
         "Figure 8: Web server - I/O time vs HDC cache size");
     return 0;
 }

@@ -11,7 +11,7 @@ main()
 {
     using namespace dtsim;
     bench::stripingSweep(
-        proxyServerParams(bench::workloadScale()),
+        WorkloadKind::Proxy, bench::workloadScale(),
         "Figure 9: Proxy server - I/O time vs striping unit");
     return 0;
 }

@@ -11,7 +11,7 @@ main()
 {
     using namespace dtsim;
     bench::hdcSweep(
-        proxyServerParams(bench::workloadScale()), 64 * kKiB,
+        WorkloadKind::Proxy, bench::workloadScale(), 64 * kKiB,
         "Figure 10: Proxy server - I/O time vs HDC cache size");
     return 0;
 }

@@ -11,7 +11,7 @@ main()
 {
     using namespace dtsim;
     bench::stripingSweep(
-        fileServerParams(bench::workloadScale()),
+        WorkloadKind::File, bench::workloadScale(),
         "Figure 11: File server - I/O time vs striping unit");
     return 0;
 }

@@ -11,7 +11,7 @@ main()
 {
     using namespace dtsim;
     bench::hdcSweep(
-        fileServerParams(bench::workloadScale()), 128 * kKiB,
+        WorkloadKind::File, bench::workloadScale(), 128 * kKiB,
         "Figure 12: File server - I/O time vs HDC cache size");
     return 0;
 }

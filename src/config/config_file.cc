@@ -1,0 +1,112 @@
+#include "config/config_file.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dtsim {
+namespace config {
+
+namespace {
+
+const char kEmbeddedPrefix[] = "#conf ";
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string& s, const char* prefix)
+{
+    return s.compare(0, std::char_traits<char>::length(prefix),
+                     prefix) == 0;
+}
+
+} // namespace
+
+bool
+splitAssignment(const std::string& line, std::string& key,
+                std::string& value, std::string& err)
+{
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+        err = "expected 'key = value', got '" + trim(line) + "'";
+        return false;
+    }
+    key = trim(line.substr(0, eq));
+    value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+        err = "missing parameter name before '='";
+        return false;
+    }
+    return true;
+}
+
+bool
+loadConfigText(const std::string& text, const std::string& origin,
+               ParamRegistry& reg, std::string& err)
+{
+    // First pass: does the text carry an embedded config header?
+    bool embedded = false;
+    {
+        std::istringstream scan(text);
+        std::string line;
+        while (std::getline(scan, line)) {
+            if (startsWith(line, kEmbeddedPrefix)) {
+                embedded = true;
+                break;
+            }
+        }
+    }
+
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string body;
+        if (embedded) {
+            // Result-file mode: only "#conf" lines are config.
+            if (!startsWith(line, kEmbeddedPrefix))
+                continue;
+            body = line.substr(sizeof(kEmbeddedPrefix) - 1);
+        } else {
+            body = trim(line);
+            if (body.empty() || body.front() == '#')
+                continue;
+        }
+
+        std::string key, value, why;
+        if (!splitAssignment(body, key, value, why) ||
+            !reg.set(key, value, why)) {
+            err = origin + ":" + std::to_string(lineno) + ": " + why;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadConfigFile(const std::string& path, ParamRegistry& reg,
+               std::string& err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open config file '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return loadConfigText(text.str(), path, reg, err);
+}
+
+} // namespace config
+} // namespace dtsim

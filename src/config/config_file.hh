@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Config-file loading: plain "key = value" files plus the embedded
+ * "#conf" form that makes every stats dump and trace file reloadable.
+ *
+ * Plain form: one `key = value` assignment per line; blank lines and
+ * `#` comments are ignored; unknown keys and malformed values are
+ * errors with file:line positions.
+ *
+ * Embedded form: if any line starts with "#conf ", the file is
+ * treated as a result file carrying its effective-config header --
+ * only the "#conf" lines are parsed and everything else (stats lines,
+ * JSONL trace records) is ignored. `--config results.stats` therefore
+ * reproduces the run that wrote the file.
+ */
+
+#ifndef DTSIM_CONFIG_CONFIG_FILE_HH
+#define DTSIM_CONFIG_CONFIG_FILE_HH
+
+#include <string>
+
+#include "config/param_registry.hh"
+
+namespace dtsim {
+namespace config {
+
+/**
+ * Split one `key = value` assignment (also `key=value`). Returns
+ * false with `err` set when there is no '=' or the key is empty.
+ * Surrounding whitespace is trimmed from both parts.
+ */
+bool splitAssignment(const std::string& line, std::string& key,
+                     std::string& value, std::string& err);
+
+/**
+ * Apply the config text in `text` to `reg`. `origin` names the
+ * source in error messages ("file.conf" or "--set"). Returns false
+ * and sets `err` (with origin:line prefix) on the first error.
+ */
+bool loadConfigText(const std::string& text,
+                    const std::string& origin, ParamRegistry& reg,
+                    std::string& err);
+
+/** Load `path` and apply it to `reg`; see loadConfigText. */
+bool loadConfigFile(const std::string& path, ParamRegistry& reg,
+                    std::string& err);
+
+} // namespace config
+} // namespace dtsim
+
+#endif // DTSIM_CONFIG_CONFIG_FILE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Checked scalar parsing for configuration values.
+ *
+ * Every parser consumes the whole token or fails with a precise,
+ * user-facing reason: trailing junk, overflow, a sign on an unsigned
+ * field, or an unknown enum token all produce an error message instead
+ * of the silent zero that std::atoi would return. The formatters are
+ * the inverse: formatValue(parseValue(s)) round-trips every value the
+ * registry can hold (doubles use max_digits10 precision).
+ */
+
+#ifndef DTSIM_CONFIG_PARSE_HH
+#define DTSIM_CONFIG_PARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtsim {
+namespace config {
+
+/**
+ * Parse `text` into `out`. On failure, returns false and sets `err`
+ * to a human-readable reason (without the parameter name; callers
+ * prepend it).
+ */
+bool parseValue(const std::string& text, std::uint64_t& out,
+                std::string& err);
+bool parseValue(const std::string& text, unsigned& out,
+                std::string& err);
+bool parseValue(const std::string& text, double& out,
+                std::string& err);
+bool parseValue(const std::string& text, bool& out, std::string& err);
+bool parseValue(const std::string& text, std::string& out,
+                std::string& err);
+
+/** Canonical formatting; formatValue/parseValue round-trip exactly. */
+std::string formatValue(std::uint64_t v);
+std::string formatValue(unsigned v);
+std::string formatValue(double v);
+std::string formatValue(bool v);
+std::string formatValue(const std::string& v);
+
+/**
+ * A token <-> value table for one enum type. Tables are the single
+ * source of parse/format truth for every registered enum parameter.
+ */
+template <typename E>
+struct EnumTable
+{
+    struct Item
+    {
+        const char* token;
+        E value;
+    };
+    std::vector<Item> items;
+
+    /** "a|b|c", for type columns and error messages. */
+    std::string
+    tokens() const
+    {
+        std::string s;
+        for (const Item& it : items) {
+            if (!s.empty())
+                s += '|';
+            s += it.token;
+        }
+        return s;
+    }
+
+    bool
+    parse(const std::string& text, E& out, std::string& err) const
+    {
+        for (const Item& it : items) {
+            if (text == it.token) {
+                out = it.value;
+                return true;
+            }
+        }
+        err = "unknown value '" + text + "' (expected " + tokens() +
+              ")";
+        return false;
+    }
+
+    std::string
+    format(E v) const
+    {
+        for (const Item& it : items) {
+            if (it.value == v)
+                return it.token;
+        }
+        return "?";
+    }
+};
+
+} // namespace config
+} // namespace dtsim
+
+#endif // DTSIM_CONFIG_PARSE_HH

@@ -1,0 +1,381 @@
+#include "config/sim_config.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dtsim {
+
+using config::EnumTable;
+using config::ParamRegistry;
+
+const EnumTable<WorkloadKind>&
+workloadKindTokens()
+{
+    static const EnumTable<WorkloadKind> t{{
+        {"synthetic", WorkloadKind::Synthetic},
+        {"web", WorkloadKind::Web},
+        {"proxy", WorkloadKind::Proxy},
+        {"file", WorkloadKind::File},
+    }};
+    return t;
+}
+
+const EnumTable<SystemKind>&
+systemKindTokens()
+{
+    static const EnumTable<SystemKind> t{{
+        {"segm", SystemKind::Segm},
+        {"block", SystemKind::Block},
+        {"nora", SystemKind::NoRA},
+        {"for", SystemKind::FOR},
+    }};
+    return t;
+}
+
+const EnumTable<HdcPolicy>&
+hdcPolicyTokens()
+{
+    static const EnumTable<HdcPolicy> t{{
+        {"pinned", HdcPolicy::Pinned},
+        {"victim", HdcPolicy::VictimCache},
+    }};
+    return t;
+}
+
+const EnumTable<SchedulerKind>&
+schedulerKindTokens()
+{
+    static const EnumTable<SchedulerKind> t{{
+        {"fcfs", SchedulerKind::FCFS},
+        {"look", SchedulerKind::LOOK},
+        {"clook", SchedulerKind::CLOOK},
+        {"sstf", SchedulerKind::SSTF},
+    }};
+    return t;
+}
+
+const EnumTable<SegmentPolicy>&
+segmentPolicyTokens()
+{
+    static const EnumTable<SegmentPolicy> t{{
+        {"lru", SegmentPolicy::LRU},
+        {"fifo", SegmentPolicy::FIFO},
+        {"random", SegmentPolicy::Random},
+        {"rr", SegmentPolicy::RoundRobin},
+    }};
+    return t;
+}
+
+const EnumTable<BlockPolicy>&
+blockPolicyTokens()
+{
+    static const EnumTable<BlockPolicy> t{{
+        {"mru", BlockPolicy::MRU},
+        {"lru", BlockPolicy::LRU},
+    }};
+    return t;
+}
+
+void
+bindParams(ParamRegistry& reg, SimulationConfig& sim)
+{
+    // workload.* -- which generator drives the run.
+    reg.addEnum("workload.kind", sim.workload, workloadKindTokens(),
+                "workload generator (synthetic = Section 6.2; "
+                "web/proxy/file = the Section 6.3 server models)");
+    reg.add("workload.scale", sim.scale,
+            "server-model request scale (1.0 = the paper's trace "
+            "length; synthetic ignores this)");
+
+    // system.* -- the array-level system under test.
+    SystemConfig& sys = sim.system;
+    reg.addEnum("system.kind", sys.kind, systemKindTokens(),
+                "controller design: segment cache + blind read-ahead "
+                "(segm), block cache + blind (block), no read-ahead "
+                "(nora), or file-oriented read-ahead (for)");
+    reg.add("system.hdc_bytes_per_disk", sys.hdcBytesPerDisk,
+            "HDC pinned-region budget per controller in bytes "
+            "(0 = HDC off; the paper's figures use 2 MiB)");
+    reg.addEnum("system.hdc_policy", sys.hdcPolicy,
+                hdcPolicyTokens(),
+                "host policy driving the HDC region: pin the "
+                "most-missed blocks up front (pinned) or run it as an "
+                "array-wide victim cache (victim)");
+    reg.add("system.victim_ghost_blocks", sys.victimGhostBlocks,
+            "mirrored host-cache size for the victim HDC policy");
+    reg.add("system.disks", sys.disks, "disks in the array");
+    reg.add("system.stripe_unit_bytes", sys.stripeUnitBytes,
+            "striping unit in bytes (must be a multiple of "
+            "disk.block_bytes)");
+    reg.add("system.mirrored", sys.mirrored,
+            "RAID-10 mirroring (halves the logical capacity; needs "
+            "an even disk count)");
+    reg.add("system.streams", sys.streams,
+            "concurrent I/O streams during replay (server workloads "
+            "override this with the model's concurrency)");
+    reg.add("system.workers", sys.workers,
+            "server I/O thread-pool size: records in flight at once "
+            "(0 = one worker per stream)");
+    reg.addEnum("system.scheduler", sys.scheduler,
+                schedulerKindTokens(),
+                "media request scheduler (the paper uses LOOK)");
+    reg.addEnum("system.segment_policy", sys.segmentPolicy,
+                segmentPolicyTokens(),
+                "segment-cache replacement policy");
+    reg.addEnum("system.block_policy", sys.blockPolicy,
+                blockPolicyTokens(),
+                "block-cache replacement policy (MRU per the paper)");
+    reg.add("system.flush_hdc_at_end", sys.flushHdcAtEnd,
+            "issue flush_hdc() after the trace drains");
+    reg.add("system.seed", sys.seed,
+            "RNG seed of randomized cache policies");
+
+    // disk.* -- the drive model (defaults: IBM Ultrastar 36Z15,
+    // Table 1 of the paper).
+    DiskParams& d = sys.disk;
+    reg.add("disk.capacity_bytes", d.capacityBytes,
+            "formatted capacity in bytes (vendor gigabytes)");
+    reg.add("disk.sector_bytes", d.sectorSize,
+            "bytes per physical sector");
+    reg.add("disk.block_bytes", d.blockSize,
+            "bytes per logical (file-system) block");
+    reg.add("disk.rpm", d.rpm, "spindle speed in revolutions/minute");
+    reg.add("disk.sectors_per_track", d.sectorsPerTrack,
+            "sectors per track in the flat (unzoned) model");
+    reg.add("disk.recording_zones", d.recordingZones,
+            "recording zones grading 440 to 340 sectors/track "
+            "(0 = flat single-rate model)");
+    reg.add("disk.heads", d.heads,
+            "read/write heads (tracks per cylinder)");
+    reg.add("disk.seek_alpha_ms", d.seekAlphaMs,
+            "seek-curve sqrt-region offset in ms");
+    reg.add("disk.seek_beta_ms", d.seekBetaMs,
+            "seek-curve sqrt-region slope in ms");
+    reg.add("disk.seek_gamma_ms", d.seekGammaMs,
+            "seek-curve linear-region offset in ms");
+    reg.add("disk.seek_delta_ms", d.seekDeltaMs,
+            "seek-curve linear-region slope in ms/cylinder");
+    reg.add("disk.seek_theta_cyls", d.seekThetaCyls,
+            "seek-curve crossover distance in cylinders");
+    reg.add("disk.head_switch_ticks", d.headSwitch,
+            "head-switch time in ticks (ns)");
+    reg.add("disk.write_settle_ticks", d.writeSettle,
+            "extra settle time for writes after a seek, in ticks");
+    reg.add("disk.xfer_bytes_per_sec", d.xferRateBytesPerSec,
+            "media transfer rate in bytes/second");
+    reg.add("disk.cache_bytes", d.cacheBytes,
+            "controller cache memory in bytes");
+    reg.add("disk.cache_reserved_bytes", d.cacheReservedBytes,
+            "controller memory reserved for firmware, not caching");
+    reg.add("disk.segment_bytes", d.segmentBytes,
+            "segment size of the segment-based organization");
+    reg.add("disk.request_overhead_ticks", d.requestOverhead,
+            "fixed controller overhead charged per request, in ticks");
+    reg.add("disk.bitmap_lookup_overhead_ticks",
+            d.bitmapLookupOverhead,
+            "extra controller time per FOR bitmap consultation");
+    reg.add("disk.hdc_lookup_overhead_ticks", d.hdcLookupOverhead,
+            "extra controller time per HDC consultation");
+
+    // synthetic.* -- the Section 6.2 synthetic workload.
+    SyntheticParams& sp = sim.synthetic;
+    reg.add("synthetic.num_files", sp.numFiles,
+            "file population size");
+    reg.add("synthetic.file_bytes", sp.fileSizeBytes,
+            "size of every file in bytes");
+    reg.add("synthetic.requests", sp.numRequests,
+            "trace requests (complete-file accesses)");
+    reg.add("synthetic.zipf_alpha", sp.zipfAlpha,
+            "Bradford-Zipf coefficient over file popularity");
+    reg.add("synthetic.write_prob", sp.writeProb,
+            "probability that a request writes its file [0,1]");
+    reg.add("synthetic.coalesce_prob", sp.coalesceProb,
+            "per-boundary request coalescing probability [0,1]");
+    reg.add("synthetic.fragmentation", sp.fragmentation,
+            "intra-file layout fragmentation degree [0,1]");
+    reg.add("synthetic.dir_files", sp.dirFiles,
+            "files per directory (explicit-grouping comparison)");
+    reg.add("synthetic.dir_access_prob", sp.dirAccessProb,
+            "probability of a whole-directory access [0,1]");
+    reg.add("synthetic.grouped_layout", sp.groupedLayout,
+            "allocate directory members contiguously "
+            "(Ganger & Kaashoek layout)");
+    reg.add("synthetic.block_bytes", sp.blockSize,
+            "workload block size (must equal disk.block_bytes)");
+    reg.add("synthetic.seed", sp.seed, "workload RNG seed");
+
+    // run.* -- observability outputs (docs/METRICS.md).
+    OutputConfig& out = sim.output;
+    reg.add("run.stats_out", out.statsOut,
+            "write the full stats dump to this file (empty = off)");
+    reg.add("run.trace", out.trace,
+            "write one JSONL record per completed request to this "
+            "file (needs -DDTSIM_TRACE=ON; empty = off)");
+    reg.add("run.stats_interval_ticks", out.statsIntervalTicks,
+            "also snapshot stats every this many simulated ticks "
+            "(0 = final dump only)");
+}
+
+namespace {
+
+void
+check(std::vector<std::string>& errs, bool ok, std::string msg)
+{
+    if (!ok)
+        errs.push_back(std::move(msg));
+}
+
+std::string
+u64s(std::uint64_t v)
+{
+    return config::formatValue(v);
+}
+
+} // namespace
+
+std::vector<std::string>
+validateConfig(const SimulationConfig& sim)
+{
+    std::vector<std::string> errs;
+    const SystemConfig& sys = sim.system;
+    const DiskParams& d = sys.disk;
+
+    check(errs, sys.disks >= 1, "system.disks must be at least 1");
+    check(errs, !sys.mirrored || sys.disks % 2 == 0,
+          "system.mirrored needs an even system.disks (got " +
+              u64s(sys.disks) + ")");
+    check(errs, sys.streams >= 1, "system.streams must be at least 1");
+
+    check(errs, d.sectorSize > 0, "disk.sector_bytes must be > 0");
+    check(errs,
+          d.blockSize > 0 &&
+              (d.sectorSize == 0 || d.blockSize % d.sectorSize == 0),
+          "disk.block_bytes (" + u64s(d.blockSize) +
+              ") must be a nonzero multiple of disk.sector_bytes (" +
+              u64s(d.sectorSize) + ")");
+    check(errs, d.blockSize == 0 || d.capacityBytes >= d.blockSize,
+          "disk.capacity_bytes must hold at least one block");
+    check(errs, d.rpm > 0, "disk.rpm must be > 0");
+    check(errs, d.sectorsPerTrack > 0,
+          "disk.sectors_per_track must be > 0");
+    check(errs, d.heads > 0, "disk.heads must be > 0");
+    check(errs, d.xferRateBytesPerSec > 0,
+          "disk.xfer_bytes_per_sec must be > 0");
+
+    check(errs,
+          sys.stripeUnitBytes > 0 &&
+              (d.blockSize == 0 ||
+               sys.stripeUnitBytes % d.blockSize == 0),
+          "system.stripe_unit_bytes (" + u64s(sys.stripeUnitBytes) +
+              ") must be a nonzero multiple of disk.block_bytes (" +
+              u64s(d.blockSize) + ")");
+
+    check(errs,
+          d.blockSize == 0 ||
+              (d.segmentBytes >= d.blockSize &&
+               d.segmentBytes % d.blockSize == 0),
+          "disk.segment_bytes (" + u64s(d.segmentBytes) +
+              ") must be a multiple of disk.block_bytes of at least "
+              "one block");
+    check(errs, d.usableCacheBytes() > 0,
+          "disk.cache_bytes (" + u64s(d.cacheBytes) +
+              ") must exceed disk.cache_reserved_bytes (" +
+              u64s(d.cacheReservedBytes) + ")");
+
+    // Controller memory carving: the HDC region and (for FOR) the
+    // layout bitmap come out of the read-ahead cache budget and must
+    // leave room for it (DiskController fatals on the same rules;
+    // these produce the error before any thread starts running).
+    std::uint64_t carved = sys.hdcBytesPerDisk;
+    std::string carve_what =
+        "system.hdc_bytes_per_disk (" + u64s(sys.hdcBytesPerDisk) +
+        ")";
+    if (sys.kind == SystemKind::FOR) {
+        carved += d.bitmapBytes();
+        carve_what += " plus the FOR layout bitmap (" +
+                      u64s(d.bitmapBytes()) + ")";
+    }
+    check(errs, carved < d.usableCacheBytes(),
+          carve_what + " must leave read-ahead cache memory out of "
+          "the usable " + u64s(d.usableCacheBytes()) + " bytes");
+
+    check(errs,
+          sys.hdcBytesPerDisk == 0 ||
+              sys.hdcPolicy != HdcPolicy::VictimCache ||
+              sys.victimGhostBlocks >= 1,
+          "system.victim_ghost_blocks must be at least 1 under the "
+          "victim HDC policy");
+
+    const bool server = sim.workload != WorkloadKind::Synthetic;
+    check(errs, !server || sim.scale > 0,
+          "workload.scale must be > 0 for server workloads");
+
+    if (sim.workload == WorkloadKind::Synthetic) {
+        const SyntheticParams& sp = sim.synthetic;
+        check(errs, sp.numFiles >= 1,
+              "synthetic.num_files must be at least 1");
+        check(errs, sp.fileSizeBytes > 0,
+              "synthetic.file_bytes must be > 0");
+        check(errs, sp.numRequests >= 1,
+              "synthetic.requests must be at least 1");
+        check(errs, sp.zipfAlpha >= 0,
+              "synthetic.zipf_alpha must be >= 0");
+        check(errs, sp.writeProb >= 0 && sp.writeProb <= 1,
+              "synthetic.write_prob must be in [0,1]");
+        check(errs, sp.coalesceProb >= 0 && sp.coalesceProb <= 1,
+              "synthetic.coalesce_prob must be in [0,1]");
+        check(errs, sp.fragmentation >= 0 && sp.fragmentation <= 1,
+              "synthetic.fragmentation must be in [0,1]");
+        check(errs, sp.dirAccessProb >= 0 && sp.dirAccessProb <= 1,
+              "synthetic.dir_access_prob must be in [0,1]");
+        check(errs, sp.dirFiles >= 1,
+              "synthetic.dir_files must be at least 1");
+        check(errs, sp.blockSize == d.blockSize,
+              "synthetic.block_bytes (" + u64s(sp.blockSize) +
+                  ") must equal disk.block_bytes (" +
+                  u64s(d.blockSize) + ")");
+    }
+
+    return errs;
+}
+
+std::string
+renderConfigHeader(const SimulationConfig& sim,
+                   const std::vector<std::string>& groups)
+{
+    // Bind a copy so rendering works on const configs.
+    SimulationConfig copy = sim;
+    ParamRegistry reg;
+    bindParams(reg, copy);
+
+    std::ostringstream os;
+    os << "# dtsim effective config -- self-describing result "
+          "header;\n"
+       << "# reload with `dtsim_cli --config <this file>` "
+          "(docs/CONFIG.md)\n";
+    for (const config::ParamEntry& e : reg.entries()) {
+        if (!groups.empty()) {
+            bool match = false;
+            for (const std::string& g : groups)
+                match = match || e.name.compare(0, g.size(), g) == 0;
+            if (!match)
+                continue;
+        }
+        os << "#conf " << e.name << " = " << e.get() << "\n";
+    }
+    os << "# end of effective config\n";
+    return os.str();
+}
+
+void
+dumpEffectiveConfig(std::ostream& os, const SimulationConfig& sim)
+{
+    SimulationConfig copy = sim;
+    ParamRegistry reg;
+    bindParams(reg, copy);
+    reg.dump(os);
+}
+
+} // namespace dtsim

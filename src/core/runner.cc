@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "config/sim_config.hh"
 #include "core/report.hh"
 #include "hdc/victim_cache.hh"
 #include "sim/logging.hh"
@@ -51,13 +52,28 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     // Observability wiring. The service histograms are only attached
     // when a stats destination is configured, so plain runs pay
     // nothing; the tracer's fast-path guard is an inline null check.
+    // Every output begins with the effective-config header; callers
+    // that built the run from a full SimulationConfig pass theirs,
+    // direct runTrace() calls get a system/disk-level one.
+    std::string config_header = opts.configHeader;
+    if (config_header.empty() &&
+        (opts.wantsStats() || !opts.tracePath.empty())) {
+        SimulationConfig sim;
+        sim.system = cfg;
+        config_header =
+            renderConfigHeader(sim, {"system.", "disk."});
+    }
+
     std::ofstream stats_file;
     if (!opts.statsOutPath.empty()) {
         stats_file.open(opts.statsOutPath);
         if (!stats_file)
             fatal("runTrace: cannot write stats file '%s'",
                   opts.statsOutPath.c_str());
+        stats_file << config_header;
     }
+    if (opts.statsStream)
+        *opts.statsStream << config_header;
 
     stats::StatGroup live_root("sim");
     std::unique_ptr<stats::ServiceStats> svc;
@@ -69,6 +85,7 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     RequestTracer tracer;
     if (!opts.tracePath.empty()) {
         tracer.open(opts.tracePath);
+        tracer.writePreamble(config_header);
         array.setTracer(&tracer);
     }
 

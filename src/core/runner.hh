@@ -34,6 +34,16 @@ struct RunOptions
     std::string tracePath;
 
     /**
+     * Pre-rendered effective-config header (renderConfigHeader in
+     * config/sim_config.hh) written at the top of every stats dump
+     * and trace file so results are self-describing and reload via
+     * `--config`. When empty, runTrace() synthesizes one covering
+     * the system./disk. groups -- callers that know the full
+     * workload configuration (the CLI and the sweep driver) set it.
+     */
+    std::string configHeader;
+
+    /**
      * Emit a periodic stats snapshot every this many ticks of
      * simulated time (0 = final dump only). Snapshots go to the
      * stats file/stream. The snapshot events ride the simulation

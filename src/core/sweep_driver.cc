@@ -1,0 +1,250 @@
+#include "core/sweep_driver.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "array/striping.hh"
+#include "hdc/hdc_planner.hh"
+#include "sim/logging.hh"
+#include "workload/server_models.hh"
+#include "workload/synthetic.hh"
+
+namespace dtsim {
+
+namespace {
+
+/** The server-model preset for a workload kind at `scale`. */
+ServerModelParams
+serverPreset(WorkloadKind kind, double scale)
+{
+    switch (kind) {
+      case WorkloadKind::Web: return webServerParams(scale);
+      case WorkloadKind::Proxy: return proxyServerParams(scale);
+      case WorkloadKind::File: return fileServerParams(scale);
+      case WorkloadKind::Synthetic: break;
+    }
+    panic("serverPreset: not a server workload");
+}
+
+std::uint64_t
+arrayCapacityBlocks(const SimulationConfig& sim)
+{
+    return sim.system.disks * sim.system.disk.totalBlocks();
+}
+
+} // namespace
+
+BuiltWorkload
+buildWorkload(const SimulationConfig& sim)
+{
+    BuiltWorkload out;
+    const std::uint64_t capacity = arrayCapacityBlocks(sim);
+    if (sim.workload == WorkloadKind::Synthetic) {
+        SyntheticWorkload w = makeSynthetic(sim.synthetic, capacity);
+        out.trace = std::move(w.trace);
+        out.image = std::move(w.image);
+    } else {
+        const ServerModelParams p =
+            serverPreset(sim.workload, sim.scale);
+        out.modelStreams = p.streams;
+        ServerWorkload w = makeServerWorkload(p, capacity);
+        out.trace = std::move(w.trace);
+        out.image = std::move(w.image);
+        out.fsStats = w.bufferCache;
+        out.hasFsStats = true;
+    }
+    return out;
+}
+
+void
+applyModelStreams(SimulationConfig& sim)
+{
+    if (sim.workload != WorkloadKind::Synthetic)
+        sim.system.streams =
+            serverPreset(sim.workload, sim.scale).streams;
+}
+
+std::string
+SweepCache::workloadKey(const SimulationConfig& sim)
+{
+    // The workload build depends on the generator parameters and the
+    // target capacity; the header renderer gives a canonical, stable
+    // serialization of the former.
+    return renderConfigHeader(sim, {"workload.", "synthetic."}) +
+           "capacity=" + std::to_string(arrayCapacityBlocks(sim));
+}
+
+BuiltWorkload&
+SweepCache::workload(const SimulationConfig& sim)
+{
+    const std::string key = workloadKey(sim);
+    auto it = workloads_.find(key);
+    if (it == workloads_.end()) {
+        it = workloads_
+                 .emplace(key, std::make_unique<BuiltWorkload>(
+                                   buildWorkload(sim)))
+                 .first;
+    }
+    return *it->second;
+}
+
+const std::vector<LayoutBitmap>&
+SweepCache::bitmaps(const SimulationConfig& sim)
+{
+    const SystemConfig& sys = sim.system;
+    const std::string key =
+        workloadKey(sim) + "|disks=" + std::to_string(sys.disks) +
+        "|unit=" + std::to_string(sys.stripeUnitBytes);
+    auto it = bitmaps_.find(key);
+    if (it == bitmaps_.end()) {
+        BuiltWorkload& w = workload(sim);
+        auto built = std::make_unique<std::vector<LayoutBitmap>>();
+        if (w.image) {
+            StripingMap striping(
+                sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
+                sys.disk.totalBlocks());
+            *built = w.image->buildBitmaps(striping);
+        }
+        it = bitmaps_.emplace(key, std::move(built)).first;
+    }
+    return *it->second;
+}
+
+const std::vector<ArrayBlock>&
+SweepCache::pins(const SimulationConfig& sim)
+{
+    const SystemConfig& sys = sim.system;
+    const std::string key =
+        workloadKey(sim) + "|disks=" + std::to_string(sys.disks) +
+        "|unit=" + std::to_string(sys.stripeUnitBytes) + "|hdcblk=" +
+        std::to_string(hdcBlocksPerDisk(sys));
+    auto it = pins_.find(key);
+    if (it == pins_.end()) {
+        BuiltWorkload& w = workload(sim);
+        StripingMap striping(
+            sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
+            sys.disk.totalBlocks());
+        auto built = std::make_unique<std::vector<ArrayBlock>>(
+            selectPinnedBlocks(w.trace, striping,
+                               hdcBlocksPerDisk(sys)));
+        it = pins_.emplace(key, std::move(built)).first;
+    }
+    return *it->second;
+}
+
+std::vector<RunResult>
+runSweepPoints(std::vector<SweepPoint>& points, SweepCache& cache,
+               unsigned jobs)
+{
+    std::vector<SweepJob> sweep;
+    std::vector<std::size_t> job_point;
+    sweep.reserve(points.size());
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SweepPoint& p = points[i];
+        if (!p.feasible) {
+            warn("sweep point %zu skipped: %s", i,
+                 p.whyNot.c_str());
+            continue;
+        }
+        applyModelStreams(p.cfg);
+
+        BuiltWorkload& w = cache.workload(p.cfg);
+
+        SweepJob job;
+        job.cfg = p.cfg.system;
+        job.trace = &w.trace;
+        if (p.cfg.system.kind == SystemKind::FOR) {
+            const std::vector<LayoutBitmap>& bm = cache.bitmaps(p.cfg);
+            if (bm.empty()) {
+                p.feasible = false;
+                p.whyNot = "FOR needs a file-system image for its "
+                           "layout bitmaps";
+                warn("sweep point %zu skipped: %s", i,
+                     p.whyNot.c_str());
+                continue;
+            }
+            job.bitmaps = &bm;
+        }
+        if (p.cfg.system.hdcBytesPerDisk > 0 &&
+            p.cfg.system.hdcPolicy == HdcPolicy::Pinned) {
+            job.pinned = &cache.pins(p.cfg);
+        }
+        job.opts.statsOutPath = p.cfg.output.statsOut;
+        job.opts.tracePath = p.cfg.output.trace;
+        job.opts.statsIntervalTicks = p.cfg.output.statsIntervalTicks;
+        if (w.hasFsStats)
+            job.opts.fsStats = &w.fsStats;
+        job.opts.configHeader = renderConfigHeader(p.cfg);
+
+        job_point.push_back(i);
+        sweep.push_back(std::move(job));
+    }
+
+    const std::vector<RunResult> ran = runSweep(sweep, jobs);
+
+    std::vector<RunResult> results(points.size());
+    for (std::size_t j = 0; j < ran.size(); ++j)
+        results[job_point[j]] = ran[j];
+    return results;
+}
+
+std::vector<RunResult>
+runSweepPoints(std::vector<SweepPoint>& points, unsigned jobs)
+{
+    SweepCache cache;
+    return runSweepPoints(points, cache, jobs);
+}
+
+RunResult
+PreparedRun::run() const
+{
+    RunOptions o = opts;
+    if (workload.hasFsStats)
+        o.fsStats = &workload.fsStats;
+    return runTrace(cfg.system, workload.trace, o,
+                    bitmaps.empty() ? nullptr : &bitmaps,
+                    pinned.empty() ? nullptr : &pinned);
+}
+
+PreparedRun
+prepareRun(const SimulationConfig& sim)
+{
+    PreparedRun r;
+    r.cfg = sim;
+    applyModelStreams(r.cfg);
+
+    const std::vector<std::string> errs = validateConfig(r.cfg);
+    if (!errs.empty()) {
+        std::ostringstream os;
+        for (const std::string& e : errs)
+            os << "\n  " << e;
+        fatal("invalid configuration:%s", os.str().c_str());
+    }
+
+    r.workload = buildWorkload(r.cfg);
+
+    const SystemConfig& sys = r.cfg.system;
+    if (r.workload.image) {
+        StripingMap striping(
+            sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
+            sys.disk.totalBlocks());
+        r.bitmaps = r.workload.image->buildBitmaps(striping);
+    }
+    if (sys.hdcBytesPerDisk > 0 &&
+        sys.hdcPolicy == HdcPolicy::Pinned) {
+        StripingMap striping(
+            sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
+            sys.disk.totalBlocks());
+        r.pinned = selectPinnedBlocks(r.workload.trace, striping,
+                                      hdcBlocksPerDisk(sys));
+    }
+
+    r.opts.statsOutPath = r.cfg.output.statsOut;
+    r.opts.tracePath = r.cfg.output.trace;
+    r.opts.statsIntervalTicks = r.cfg.output.statsIntervalTicks;
+    r.opts.configHeader = renderConfigHeader(r.cfg);
+    return r;
+}
+
+} // namespace dtsim

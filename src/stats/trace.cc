@@ -42,6 +42,18 @@ RequestTracer::close()
 }
 
 void
+RequestTracer::writePreamble(const std::string& text)
+{
+    if (!out_ || text.empty())
+        return;
+    if (text.front() != '#')
+        panic("trace preamble must be '#' comment lines");
+    std::fwrite(text.data(), 1, text.size(), out_);
+    if (text.back() != '\n')
+        std::fputc('\n', out_);
+}
+
+void
 RequestTracer::writeRecord(const RequestTraceEvent& ev)
 {
     // One record is far below 256 bytes even with every field at its
@@ -163,7 +175,8 @@ readTraceFile(const std::string& path,
     std::size_t lineno = 0;
     while (std::getline(in, line)) {
         ++lineno;
-        if (line.empty())
+        // '#' lines are the effective-config preamble and comments.
+        if (line.empty() || line.front() == '#')
             continue;
         RequestTraceEvent ev;
         if (!parseTraceLine(line, ev)) {

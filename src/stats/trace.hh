@@ -89,6 +89,13 @@ class RequestTracer
     /** Flush and close the output file; the tracer becomes disabled. */
     void close();
 
+    /**
+     * Write preamble text (e.g. the effective-config header) ahead of
+     * the records. Every line must start with '#'; the reader side
+     * and trace_summary skip such lines. No-op when disabled.
+     */
+    void writePreamble(const std::string& text);
+
     /** True when records are being written. */
     bool
     enabled() const

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The config round-trip property: every stats dump begins with an
+ * effective-config header, and loading that dump back through the
+ * config layer reproduces the run bit for bit -- same stats text,
+ * same results. Exercised for a Segm baseline and a FOR+HDC system,
+ * the two extremes of the paper's comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "config/config_file.hh"
+#include "core/sweep_driver.hh"
+
+using namespace dtsim;
+
+namespace {
+
+/** A small, fast synthetic workload configuration. */
+SimulationConfig
+smallBase()
+{
+    SimulationConfig sim;
+    sim.synthetic.numRequests = 400;
+    sim.synthetic.numFiles = 5000;
+    sim.synthetic.seed = 99;
+    sim.system.seed = 99;
+    return sim;
+}
+
+/** Run `sim` and return (stats dump text, result). */
+std::pair<std::string, RunResult>
+runToString(const SimulationConfig& sim)
+{
+    PreparedRun prep = prepareRun(sim);
+    std::ostringstream stats;
+    prep.opts.statsStream = &stats;
+    const RunResult r = prep.run();
+    return {stats.str(), r};
+}
+
+/** Dump -> reload -> rerun must reproduce the dump byte for byte. */
+void
+expectRoundTrip(const SimulationConfig& sim)
+{
+    const auto [dump, result] = runToString(sim);
+
+    // The dump is self-describing: it opens with #conf lines.
+    ASSERT_NE(dump.find("#conf workload.kind = "), std::string::npos);
+
+    // Reload the dump itself (embedded mode) into a fresh config.
+    SimulationConfig reloaded;
+    config::ParamRegistry reg;
+    bindParams(reg, reloaded);
+    std::string err;
+    ASSERT_TRUE(config::loadConfigText(dump, "dump", reg, err))
+        << err;
+
+    const auto [dump2, result2] = runToString(reloaded);
+    EXPECT_EQ(dump, dump2);
+    EXPECT_EQ(result.ioTime, result2.ioTime);
+    EXPECT_EQ(result.flushTime, result2.flushTime);
+    EXPECT_EQ(result.requests, result2.requests);
+    EXPECT_EQ(result.blocks, result2.blocks);
+    EXPECT_EQ(result.agg.reads, result2.agg.reads);
+    EXPECT_EQ(result.agg.writes, result2.agg.writes);
+}
+
+TEST(ConfigRoundTrip, SegmBaseline)
+{
+    expectRoundTrip(smallBase());
+}
+
+TEST(ConfigRoundTrip, ForWithHdc)
+{
+    SimulationConfig sim = smallBase();
+    sim.system.kind = SystemKind::FOR;
+    sim.system.hdcBytesPerDisk = 512 * kKiB;
+    sim.synthetic.writeProb = 0.1;
+    expectRoundTrip(sim);
+}
+
+TEST(ConfigRoundTrip, NonDefaultEverything)
+{
+    // Push non-default values through several groups at once so any
+    // parameter missing from the registry dump breaks the trip.
+    SimulationConfig sim = smallBase();
+    sim.system.kind = SystemKind::Block;
+    sim.system.disks = 4;
+    sim.system.stripeUnitBytes = 32 * kKiB;
+    sim.system.scheduler = SchedulerKind::SSTF;
+    sim.system.streams = 16;
+    sim.system.hdcBytesPerDisk = 256 * kKiB;
+    sim.system.hdcPolicy = HdcPolicy::VictimCache;
+    sim.system.victimGhostBlocks = 5000;
+    sim.synthetic.zipfAlpha = 0.7;
+    sim.synthetic.writeProb = 0.25;
+    sim.synthetic.fragmentation = 0.3;
+    expectRoundTrip(sim);
+}
+
+TEST(ConfigRoundTrip, HeaderMatchesEffectiveStreams)
+{
+    // Server models override system.streams; the dumped header must
+    // record the concurrency that actually ran so a reload does not
+    // depend on the override being reapplied.
+    SimulationConfig sim;
+    sim.workload = WorkloadKind::Web;
+    sim.scale = 0.005;
+    PreparedRun prep = prepareRun(sim);
+    EXPECT_NE(prep.cfg.system.streams, 128u);
+    EXPECT_NE(
+        prep.opts.configHeader.find(
+            "#conf system.streams = " +
+            config::formatValue(prep.cfg.system.streams)),
+        std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cross-parameter validation tests: every rule in validateConfig()
+ * fires with the offending keys named, defaults validate cleanly, and
+ * multiple violations are reported together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/sim_config.hh"
+
+using namespace dtsim;
+
+namespace {
+
+/** First validation error, or "" when the config is valid. */
+std::string
+firstError(const SimulationConfig& sim)
+{
+    const std::vector<std::string> errs = validateConfig(sim);
+    return errs.empty() ? std::string() : errs.front();
+}
+
+TEST(ConfigValidate, DefaultsAreValid)
+{
+    SimulationConfig sim;
+    EXPECT_EQ(firstError(sim), "");
+
+    sim.workload = WorkloadKind::Web;
+    EXPECT_EQ(firstError(sim), "");
+}
+
+TEST(ConfigValidate, StripeUnitMustBeBlockMultiple)
+{
+    SimulationConfig sim;
+    sim.system.stripeUnitBytes = 4096 + 512;
+    const std::string err = firstError(sim);
+    EXPECT_NE(err.find("system.stripe_unit_bytes"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("disk.block_bytes"), std::string::npos) << err;
+
+    sim.system.stripeUnitBytes = 0;
+    EXPECT_NE(firstError(sim), "");
+
+    sim.system.stripeUnitBytes = 8 * 4096;
+    EXPECT_EQ(firstError(sim), "");
+}
+
+TEST(ConfigValidate, HdcMustLeaveCacheMemory)
+{
+    SimulationConfig sim;
+
+    // Segm: the HDC region alone must stay under the usable cache.
+    sim.system.hdcBytesPerDisk = sim.system.disk.usableCacheBytes();
+    EXPECT_NE(firstError(sim).find("system.hdc_bytes_per_disk"),
+              std::string::npos);
+
+    // FOR additionally charges the layout bitmap, so a budget that
+    // fits under Segm can be infeasible under FOR.
+    const std::uint64_t usable = sim.system.disk.usableCacheBytes();
+    const std::uint64_t bitmap = sim.system.disk.bitmapBytes();
+    ASSERT_GT(usable, bitmap);
+    sim.system.hdcBytesPerDisk = usable - bitmap;
+    sim.system.kind = SystemKind::Segm;
+    EXPECT_EQ(firstError(sim), "");
+    sim.system.kind = SystemKind::FOR;
+    const std::string err = firstError(sim);
+    EXPECT_NE(err.find("FOR layout bitmap"), std::string::npos) << err;
+}
+
+TEST(ConfigValidate, MirroringNeedsEvenDisks)
+{
+    SimulationConfig sim;
+    sim.system.mirrored = true;
+    sim.system.disks = 7;
+    EXPECT_NE(firstError(sim).find("system.mirrored"),
+              std::string::npos);
+    sim.system.disks = 8;
+    EXPECT_EQ(firstError(sim), "");
+}
+
+TEST(ConfigValidate, SyntheticRanges)
+{
+    SimulationConfig sim;
+    sim.synthetic.writeProb = 1.5;
+    EXPECT_NE(firstError(sim).find("synthetic.write_prob"),
+              std::string::npos);
+
+    sim.synthetic.writeProb = 0.5;
+    sim.synthetic.blockSize = 8192;
+    EXPECT_NE(firstError(sim).find("synthetic.block_bytes"),
+              std::string::npos);
+
+    // Server workloads skip the synthetic checks entirely.
+    sim.workload = WorkloadKind::File;
+    EXPECT_EQ(firstError(sim), "");
+
+    sim.scale = 0.0;
+    EXPECT_NE(firstError(sim).find("workload.scale"),
+              std::string::npos);
+}
+
+TEST(ConfigValidate, ReportsEveryViolationAtOnce)
+{
+    SimulationConfig sim;
+    sim.system.disks = 0;
+    sim.system.streams = 0;
+    sim.system.stripeUnitBytes = 3;
+    const std::vector<std::string> errs = validateConfig(sim);
+    EXPECT_GE(errs.size(), 3u);
+}
+
+TEST(ConfigValidate, DegenerateDiskGeometry)
+{
+    SimulationConfig sim;
+    sim.system.disk.rpm = 0;
+    sim.system.disk.cacheBytes = sim.system.disk.cacheReservedBytes;
+    const std::vector<std::string> errs = validateConfig(sim);
+    bool saw_rpm = false, saw_cache = false;
+    for (const std::string& e : errs) {
+        saw_rpm = saw_rpm || e.find("disk.rpm") != std::string::npos;
+        saw_cache =
+            saw_cache || e.find("disk.cache_bytes") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_rpm);
+    EXPECT_TRUE(saw_cache);
+}
+
+} // namespace

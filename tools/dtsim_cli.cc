@@ -1,30 +1,33 @@
 /**
  * @file
- * Command-line experiment driver: build a workload (synthetic or one
- * of the paper's server models, or a saved trace file), run it
- * against a configured system, and print a full statistics report.
+ * Command-line experiment driver over the typed parameter registry:
+ * every knob is a registered `group.key` parameter settable from
+ * config files (--config), direct overrides (--set), or the classic
+ * sugar flags, and every run's outputs begin with an effective-config
+ * header that --config reloads to reproduce the run.
  *
  * Examples:
  *   dtsim_cli --workload synthetic --system for --file-kb 16
- *   dtsim_cli --workload web --scale 0.05 --system segm --hdc-kb 2048
- *   dtsim_cli --workload synthetic --save-trace /tmp/t.txt
- *   dtsim_cli --load-trace /tmp/t.txt --system nora
+ *   dtsim_cli --config examples/web_for_hdc.conf
+ *   dtsim_cli --config run1_stats.txt --set system.scheduler=sstf
+ *   dtsim_cli --sweep examples/sweeps/fig07_web_striping.conf
  *   dtsim_cli --workload web --system all --jobs 4
+ *   dtsim_cli --list-params
  */
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "config/config_file.hh"
+#include "config/sweep_spec.hh"
 #include "core/report.hh"
-#include "core/sweep.hh"
-#include "hdc/hdc_planner.hh"
+#include "core/sweep_driver.hh"
 #include "sim/logging.hh"
 #include "stats/trace.hh"
-#include "workload/server_models.hh"
-#include "workload/synthetic.hh"
 
 using namespace dtsim;
 
@@ -35,43 +38,67 @@ usage()
 {
     std::printf(
         "usage: dtsim_cli [options]\n"
-        "workload:\n"
-        "  --workload synthetic|web|proxy|file   (default synthetic)\n"
-        "  --requests N        synthetic requests (default 10000)\n"
-        "  --file-kb N         synthetic file size (default 16)\n"
+        "configuration (every knob is a registered parameter):\n"
+        "  --config FILE       apply a key = value config file; stats\n"
+        "                      dumps and traces reload too (their\n"
+        "                      '#conf' header lines are parsed)\n"
+        "  --set KEY=VALUE     set one parameter (repeatable; applied\n"
+        "                      in command-line order)\n"
+        "  --sweep FILE        expand the sweep grid in FILE ('sweep\n"
+        "                      KEY = v1, v2, ...' axis lines over a\n"
+        "                      base config), run every feasible point\n"
+        "                      in parallel, and print a result table\n"
+        "  --list-params       list every parameter with its type,\n"
+        "                      default, and description\n"
+        "  --param-docs-md     print the Markdown configuration\n"
+        "                      reference (docs/CONFIG.md is this\n"
+        "                      output, verbatim)\n"
+        "workload sugar (sets the parameter in parentheses):\n"
+        "  --workload K        synthetic|web|proxy|file\n"
+        "                      (workload.kind)\n"
+        "  --requests N        synthetic requests (synthetic.requests)\n"
+        "  --file-kb N         synthetic file size in KiB\n"
+        "                      (synthetic.file_bytes)\n"
         "  --zipf A            popularity coefficient\n"
+        "                      (synthetic.zipf_alpha)\n"
         "  --writes P          synthetic write fraction [0,1]\n"
-        "  --scale S           server-model request scale "
-        "(default 0.05)\n"
+        "                      (synthetic.write_prob)\n"
+        "  --scale S           server-model request scale\n"
+        "                      (workload.scale)\n"
         "  --load-trace PATH   replay a saved trace instead\n"
         "  --save-trace PATH   save the generated trace and exit\n"
-        "system:\n"
-        "  --system segm|block|nora|for|all      (default segm;\n"
-        "                      'all' compares every system in one\n"
-        "                      parallel sweep)\n"
-        "  --jobs N            sweep threads for --system all\n"
-        "                      (default DTSIM_JOBS, else all cores)\n"
-        "  --hdc-kb N          per-disk HDC budget (default 0)\n"
-        "  --hdc-policy pinned|victim            (default pinned)\n"
-        "  --disks N           array size (default 8)\n"
-        "  --unit-kb N         striping unit (default 128)\n"
-        "  --streams N         concurrent streams (default 128)\n"
-        "  --workers N         I/O thread pool (default streams)\n"
-        "  --sched fcfs|look|clook|sstf          (default look)\n"
-        "  --zones N           recording zones (default 0 = flat)\n"
-        "  --seed N            RNG seed\n"
-        "observability (docs/METRICS.md documents every name):\n"
-        "  --stats-out FILE    write the full stats dump to FILE;\n"
-        "                      with --system all, one file per kind\n"
-        "                      (FILE.Segm, FILE.Block, FILE.No-RA,\n"
-        "                      FILE.FOR)\n"
-        "  --trace FILE        write one JSONL record per completed\n"
-        "                      request (needs -DDTSIM_TRACE=ON);\n"
-        "                      suffixed per kind under --system all\n"
+        "system sugar:\n"
+        "  --system K          segm|block|nora|for (system.kind), or\n"
+        "                      'all' to compare every kind in one\n"
+        "                      parallel sweep\n"
+        "  --hdc-kb N          per-disk HDC budget in KiB\n"
+        "                      (system.hdc_bytes_per_disk)\n"
+        "  --hdc-policy P      pinned|victim (system.hdc_policy)\n"
+        "  --disks N           array size (system.disks)\n"
+        "  --unit-kb N         striping unit in KiB\n"
+        "                      (system.stripe_unit_bytes)\n"
+        "  --streams N         concurrent streams (system.streams)\n"
+        "  --workers N         I/O thread pool, 0 = streams\n"
+        "                      (system.workers)\n"
+        "  --sched S           fcfs|look|clook|sstf (system.scheduler)\n"
+        "  --zones N           recording zones, 0 = flat\n"
+        "                      (disk.recording_zones)\n"
+        "  --seed N            RNG seed (system.seed and\n"
+        "                      synthetic.seed)\n"
+        "observability (docs/METRICS.md documents every stat name):\n"
+        "  --stats-out FILE    write the full stats dump to FILE\n"
+        "                      (run.stats_out); under a sweep each\n"
+        "                      point writes FILE.<coord>[.<coord>...]\n"
+        "  --trace FILE        one JSONL record per completed request\n"
+        "                      (run.trace; needs -DDTSIM_TRACE=ON);\n"
+        "                      suffixed per point under a sweep\n"
         "  --stats-interval T  also snapshot stats every T ticks (ns)\n"
-        "                      of simulated time\n"
+        "                      (run.stats_interval_ticks)\n"
+        "  --jobs N            sweep threads (default DTSIM_JOBS,\n"
+        "                      else all cores)\n"
         "  --log-level L       quiet|warn|inform|debug (also the\n"
-        "                      DTSIM_LOG environment variable)\n");
+        "                      DTSIM_LOG environment variable)\n"
+        "docs/CONFIG.md is the full parameter reference.\n");
 }
 
 const char*
@@ -82,32 +109,198 @@ arg(int argc, char** argv, int& i)
     return argv[++i];
 }
 
-SystemKind
-parseKind(const std::string& s)
+/** Parse a sugar-flag value with the checked parser; fatal on junk. */
+template <typename T>
+T
+parseFlag(const char* flag, const std::string& text)
 {
-    if (s == "segm")
-        return SystemKind::Segm;
-    if (s == "block")
-        return SystemKind::Block;
-    if (s == "nora")
-        return SystemKind::NoRA;
-    if (s == "for")
-        return SystemKind::FOR;
-    fatal("unknown system '%s'", s.c_str());
+    T v{};
+    std::string err;
+    if (!config::parseValue(text, v, err))
+        fatal("%s: %s", flag, err.c_str());
+    return v;
 }
 
-SchedulerKind
-parseSched(const std::string& s)
+/** Set a registered parameter; fatal with the registry's error. */
+void
+setParam(config::ParamRegistry& reg, const std::string& key,
+         const std::string& value)
 {
-    if (s == "fcfs")
-        return SchedulerKind::FCFS;
-    if (s == "look")
-        return SchedulerKind::LOOK;
-    if (s == "clook")
-        return SchedulerKind::CLOOK;
-    if (s == "sstf")
-        return SchedulerKind::SSTF;
-    fatal("unknown scheduler '%s'", s.c_str());
+    std::string err;
+    if (!reg.set(key, value, err))
+        fatal("%s", err.c_str());
+}
+
+void
+listParams(const config::ParamRegistry& reg)
+{
+    for (const config::ParamEntry& e : reg.entries()) {
+        std::printf("%-32s %s  (default %s)\n    %s\n",
+                    e.name.c_str(), e.type.c_str(),
+                    e.defaultValue.c_str(), e.doc.c_str());
+    }
+}
+
+/** Escape '|' for use inside a Markdown table cell. */
+std::string
+mdEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '|')
+            out += "\\|";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+paramDocsMarkdown(const config::ParamRegistry& reg)
+{
+    std::printf(
+        "# dtsim configuration reference\n"
+        "\n"
+        "<!-- Generated by `dtsim_cli --param-docs-md`. Do not edit\n"
+        "     by hand; regenerate after changing registered\n"
+        "     parameters (src/config/sim_config.cc). -->\n"
+        "\n"
+        "Every knob of the simulator is a typed, registered parameter\n"
+        "`group.key`, declared once in `src/config/sim_config.cc` with\n"
+        "its type, default, and documentation. The same registry\n"
+        "drives `--set`, config files, sweeps, `--list-params`, this\n"
+        "reference, and the effective-config header that starts every\n"
+        "stats dump and request trace.\n"
+        "\n"
+        "## Config files\n"
+        "\n"
+        "`dtsim_cli --config FILE` applies one `key = value`\n"
+        "assignment per line; blank lines and `#` comments are\n"
+        "ignored. Unknown keys, malformed values, and trailing junk\n"
+        "are errors with `file:line` positions. `--set KEY=VALUE`\n"
+        "sets a single parameter; `--config` and `--set` apply in\n"
+        "command-line order, later wins.\n"
+        "\n"
+        "Stats dumps and request traces begin with the run's\n"
+        "effective configuration as `#conf key = value` lines. A file\n"
+        "containing such lines loads in *embedded* mode: only the\n"
+        "`#conf` lines are parsed, so `--config results_stats.txt`\n"
+        "reproduces the run that wrote the file, bit for bit.\n"
+        "\n"
+        "## Sweeps\n"
+        "\n"
+        "`dtsim_cli --sweep FILE` reads a config file that may also\n"
+        "contain axis lines:\n"
+        "\n"
+        "```\n"
+        "workload.kind = web\n"
+        "sweep system.stripe_unit_bytes = 4096, 8192, 16384\n"
+        "sweep system.kind = segm, for\n"
+        "```\n"
+        "\n"
+        "Axes expand as a cartesian product (first axis slowest) and\n"
+        "every feasible point runs through the parallel sweep runner.\n"
+        "Points that fail cross-parameter validation (for example an\n"
+        "HDC budget that leaves no read-ahead cache memory) are\n"
+        "reported and skipped rather than aborting the sweep. The\n"
+        "shipped figure sweeps live in `examples/sweeps/`.\n"
+        "\n"
+        "## Validation\n"
+        "\n"
+        "Before running, the full configuration is cross-checked\n"
+        "(stripe unit a multiple of the block size, HDC + FOR bitmap\n"
+        "within the controller cache, mirrored arrays even-sized,\n"
+        "...). Violations are reported together, with the offending\n"
+        "keys named.\n"
+        "\n"
+        "## Parameters\n");
+
+    std::string group;
+    for (const config::ParamEntry& e : reg.entries()) {
+        const std::string g = e.name.substr(0, e.name.find('.'));
+        if (g != group) {
+            group = g;
+            std::printf("\n### %s.*\n\n", group.c_str());
+            std::printf("| Key | Type | Default | Description |\n"
+                        "|---|---|---|---|\n");
+        }
+        std::printf("| `%s` | `%s` | `%s` | %s |\n", e.name.c_str(),
+                    mdEscape(e.type).c_str(),
+                    e.defaultValue.empty()
+                        ? "(empty)"
+                        : mdEscape(e.defaultValue).c_str(),
+                    mdEscape(e.doc).c_str());
+    }
+}
+
+/** Output-file suffix of a sweep point: its coordinate values. */
+std::string
+coordSuffix(const SweepPoint& p)
+{
+    std::string s;
+    for (const auto& kv : p.coords)
+        s += "." + kv.second;
+    return s;
+}
+
+/** Human label of a sweep point: "key=value key=value". */
+std::string
+coordLabel(const SweepPoint& p)
+{
+    std::string s;
+    for (const auto& kv : p.coords) {
+        if (!s.empty())
+            s += " ";
+        const std::size_t dot = kv.first.rfind('.');
+        s += kv.first.substr(dot == std::string::npos ? 0 : dot + 1) +
+             "=" + kv.second;
+    }
+    return s.empty() ? "(base)" : s;
+}
+
+int
+runSweepMode(const SweepSpec& spec, unsigned jobs)
+{
+    std::string err;
+    std::vector<SweepPoint> points = expandSweep(spec, err);
+    if (points.empty())
+        fatal("sweep: %s",
+              err.empty() ? "empty grid" : err.c_str());
+
+    // Give each point its own output files, suffixed by coordinates.
+    for (SweepPoint& p : points) {
+        if (!p.cfg.output.statsOut.empty())
+            p.cfg.output.statsOut += coordSuffix(p);
+        if (!p.cfg.output.trace.empty())
+            p.cfg.output.trace += coordSuffix(p);
+    }
+
+    std::size_t label_w = 8;
+    for (const SweepPoint& p : points)
+        label_w = std::max(label_w, coordLabel(p).size());
+
+    const std::vector<RunResult> results =
+        runSweepPoints(points, jobs);
+
+    std::printf("\n%-*s %-10s %-10s %-8s %-10s %-10s\n",
+                static_cast<int>(label_w), "point", "io(s)", "MB/s",
+                "util", "cache-hit", "lat(ms)");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::string label = coordLabel(points[i]);
+        if (!points[i].feasible) {
+            std::printf("%-*s infeasible: %s\n",
+                        static_cast<int>(label_w), label.c_str(),
+                        points[i].whyNot.c_str());
+            continue;
+        }
+        const RunResult& r = results[i];
+        std::printf("%-*s %-10.3f %-10.2f %-8.3f %-10.3f %-10.3f\n",
+                    static_cast<int>(label_w), label.c_str(),
+                    toSeconds(r.ioTime), r.throughputMBps,
+                    r.diskUtilization, r.cacheHitRate,
+                    r.meanLatencyMs);
+    }
+    return 0;
 }
 
 } // namespace
@@ -115,15 +308,15 @@ parseSched(const std::string& s)
 int
 main(int argc, char** argv)
 {
-    std::string workload = "synthetic";
+    SimulationConfig sim;
+    config::ParamRegistry reg;
+    bindParams(reg, sim);
+
     std::string load_trace, save_trace;
-    SystemConfig cfg;
-    SyntheticParams sp;
-    double scale = 0.05;
-    std::string hdc_policy = "pinned";
+    SweepSpec sweep;
+    bool have_sweep = false;
     bool all_systems = false;
     unsigned jobs = 0;
-    RunOptions opts;
 
     initLogLevelFromEnv();
 
@@ -132,24 +325,50 @@ main(int argc, char** argv)
         if (a == "--help" || a == "-h") {
             usage();
             return 0;
+        } else if (a == "--list-params") {
+            listParams(reg);
+            return 0;
+        } else if (a == "--param-docs-md") {
+            paramDocsMarkdown(reg);
+            return 0;
+        } else if (a == "--config") {
+            const char* path = arg(argc, argv, i);
+            std::string err;
+            if (!config::loadConfigFile(path, reg, err))
+                fatal("%s", err.c_str());
+        } else if (a == "--set") {
+            const std::string kv = arg(argc, argv, i);
+            std::string key, value, err;
+            if (!config::splitAssignment(kv, key, value, err))
+                fatal("--set %s: %s", kv.c_str(), err.c_str());
+            setParam(reg, key, value);
+        } else if (a == "--sweep") {
+            // Applied at this position: the file's base assignments
+            // land now, so later --set / sugar flags override them.
+            const char* path = arg(argc, argv, i);
+            sweep.base = sim;
+            std::string err;
+            if (!loadSweepFile(path, sweep, err))
+                fatal("%s", err.c_str());
+            sim = sweep.base;
+            have_sweep = true;
         } else if (a == "--workload") {
-            workload = arg(argc, argv, i);
+            setParam(reg, "workload.kind", arg(argc, argv, i));
         } else if (a == "--jobs") {
-            jobs = static_cast<unsigned>(
-                std::atoi(arg(argc, argv, i)));
+            jobs = parseFlag<unsigned>("--jobs", arg(argc, argv, i));
         } else if (a == "--requests") {
-            sp.numRequests = std::strtoull(arg(argc, argv, i),
-                                           nullptr, 10);
+            setParam(reg, "synthetic.requests", arg(argc, argv, i));
         } else if (a == "--file-kb") {
-            sp.fileSizeBytes =
-                std::strtoull(arg(argc, argv, i), nullptr, 10) *
-                kKiB;
+            const std::uint64_t kb = parseFlag<std::uint64_t>(
+                "--file-kb", arg(argc, argv, i));
+            setParam(reg, "synthetic.file_bytes",
+                     std::to_string(kb * kKiB));
         } else if (a == "--zipf") {
-            sp.zipfAlpha = std::atof(arg(argc, argv, i));
+            setParam(reg, "synthetic.zipf_alpha", arg(argc, argv, i));
         } else if (a == "--writes") {
-            sp.writeProb = std::atof(arg(argc, argv, i));
+            setParam(reg, "synthetic.write_prob", arg(argc, argv, i));
         } else if (a == "--scale") {
-            scale = std::atof(arg(argc, argv, i));
+            setParam(reg, "workload.scale", arg(argc, argv, i));
         } else if (a == "--load-trace") {
             load_trace = arg(argc, argv, i);
         } else if (a == "--save-trace") {
@@ -159,38 +378,36 @@ main(int argc, char** argv)
             if (kind == "all")
                 all_systems = true;
             else
-                cfg.kind = parseKind(kind);
+                setParam(reg, "system.kind", kind);
         } else if (a == "--hdc-kb") {
-            cfg.hdcBytesPerDisk =
-                std::strtoull(arg(argc, argv, i), nullptr, 10) *
-                kKiB;
+            const std::uint64_t kb = parseFlag<std::uint64_t>(
+                "--hdc-kb", arg(argc, argv, i));
+            setParam(reg, "system.hdc_bytes_per_disk",
+                     std::to_string(kb * kKiB));
         } else if (a == "--hdc-policy") {
-            hdc_policy = arg(argc, argv, i);
+            setParam(reg, "system.hdc_policy", arg(argc, argv, i));
         } else if (a == "--disks") {
-            cfg.disks = static_cast<unsigned>(
-                std::atoi(arg(argc, argv, i)));
+            setParam(reg, "system.disks", arg(argc, argv, i));
         } else if (a == "--unit-kb") {
-            cfg.stripeUnitBytes =
-                std::strtoull(arg(argc, argv, i), nullptr, 10) *
-                kKiB;
+            const std::uint64_t kb = parseFlag<std::uint64_t>(
+                "--unit-kb", arg(argc, argv, i));
+            setParam(reg, "system.stripe_unit_bytes",
+                     std::to_string(kb * kKiB));
         } else if (a == "--streams") {
-            cfg.streams = static_cast<unsigned>(
-                std::atoi(arg(argc, argv, i)));
+            setParam(reg, "system.streams", arg(argc, argv, i));
         } else if (a == "--workers") {
-            cfg.workers = static_cast<unsigned>(
-                std::atoi(arg(argc, argv, i)));
+            setParam(reg, "system.workers", arg(argc, argv, i));
         } else if (a == "--sched") {
-            cfg.scheduler = parseSched(arg(argc, argv, i));
+            setParam(reg, "system.scheduler", arg(argc, argv, i));
         } else if (a == "--zones") {
-            cfg.disk.recordingZones = static_cast<unsigned>(
-                std::atoi(arg(argc, argv, i)));
+            setParam(reg, "disk.recording_zones", arg(argc, argv, i));
         } else if (a == "--stats-out") {
-            opts.statsOutPath = arg(argc, argv, i);
+            setParam(reg, "run.stats_out", arg(argc, argv, i));
         } else if (a == "--trace") {
-            opts.tracePath = arg(argc, argv, i);
+            setParam(reg, "run.trace", arg(argc, argv, i));
         } else if (a == "--stats-interval") {
-            opts.statsIntervalTicks =
-                std::strtoull(arg(argc, argv, i), nullptr, 10);
+            setParam(reg, "run.stats_interval_ticks",
+                     arg(argc, argv, i));
         } else if (a == "--log-level") {
             const char* name = arg(argc, argv, i);
             LogLevel level;
@@ -198,61 +415,58 @@ main(int argc, char** argv)
                 fatal("unknown log level '%s'", name);
             setLogLevel(level);
         } else if (a == "--seed") {
-            cfg.seed = std::strtoull(arg(argc, argv, i), nullptr,
-                                     10);
-            sp.seed = cfg.seed;
+            const char* seed = arg(argc, argv, i);
+            setParam(reg, "system.seed", seed);
+            setParam(reg, "synthetic.seed", seed);
         } else {
-            usage();
-            fatal("unknown option '%s'", a.c_str());
+            fatal("unknown option '%s' (--help lists options; use "
+                  "--set KEY=VALUE for registered parameters)",
+                  a.c_str());
         }
     }
 
-    if (hdc_policy == "victim")
-        cfg.hdcPolicy = HdcPolicy::VictimCache;
-    else if (hdc_policy != "pinned")
-        fatal("unknown HDC policy '%s'", hdc_policy.c_str());
+    if (!sim.output.trace.empty() && !RequestTracer::compiledIn())
+        fatal("--trace / run.trace: tracing was compiled out; "
+              "reconfigure with -DDTSIM_TRACE=ON");
 
-    const std::uint64_t capacity =
-        cfg.disks * cfg.disk.totalBlocks();
-
-    if (!opts.tracePath.empty() && !RequestTracer::compiledIn())
-        fatal("--trace: tracing was compiled out; reconfigure with "
-              "-DDTSIM_TRACE=ON");
-
-    // Build or load the workload.
-    Trace trace;
-    std::unique_ptr<FileSystemImage> image;
-    BufferCacheStats fs_stats;
-    if (!load_trace.empty()) {
-        trace = loadTrace(load_trace);
-        std::printf("loaded %zu records from %s\n", trace.size(),
-                    load_trace.c_str());
-        if (cfg.kind == SystemKind::FOR || all_systems)
-            fatal("FOR needs a file-system image; loaded traces "
-                  "carry none (use --workload instead)");
-    } else if (workload == "synthetic") {
-        SyntheticWorkload w = makeSynthetic(sp, capacity);
-        trace = std::move(w.trace);
-        image = std::move(w.image);
-    } else {
-        ServerModelParams p;
-        if (workload == "web")
-            p = webServerParams(scale);
-        else if (workload == "proxy")
-            p = proxyServerParams(scale);
-        else if (workload == "file")
-            p = fileServerParams(scale);
-        else
-            fatal("unknown workload '%s'", workload.c_str());
-        cfg.streams = p.streams;
-        ServerWorkload w = makeServerWorkload(p, capacity);
-        trace = std::move(w.trace);
-        image = std::move(w.image);
-        fs_stats = w.bufferCache;
-        opts.fsStats = &fs_stats;
+    // Sweep modes: an explicit sweep file, or --system all expanded
+    // to a one-axis sweep over the system kind.
+    if (have_sweep || all_systems) {
+        if (!load_trace.empty())
+            fatal("sweeps generate their workloads; --load-trace "
+                  "only applies to single runs");
+        sweep.base = sim;
+        if (all_systems)
+            sweep.axes.push_back(
+                {"system.kind", {"segm", "block", "nora", "for"}});
+        return runSweepMode(sweep, jobs);
     }
 
-    const TraceStats ts = computeStats(trace);
+    // Replay of a saved trace: no workload build, no image, so FOR
+    // (which needs layout bitmaps) is unavailable.
+    if (!load_trace.empty()) {
+        const std::vector<std::string> errs = validateConfig(sim);
+        if (!errs.empty())
+            fatal("invalid configuration: %s", errs.front().c_str());
+        if (sim.system.kind == SystemKind::FOR)
+            fatal("FOR needs a file-system image; loaded traces "
+                  "carry none (use --workload instead)");
+        const Trace trace = loadTrace(load_trace);
+        std::printf("loaded %zu records from %s\n", trace.size(),
+                    load_trace.c_str());
+
+        RunOptions opts;
+        opts.statsOutPath = sim.output.statsOut;
+        opts.tracePath = sim.output.trace;
+        opts.statsIntervalTicks = sim.output.statsIntervalTicks;
+        const RunResult r = runTrace(sim.system, trace, opts);
+        printReport(std::cout, sim.system, r);
+        return 0;
+    }
+
+    PreparedRun prep = prepareRun(sim);
+
+    const TraceStats ts = computeStats(prep.workload.trace);
     std::printf("trace: %llu records, %llu blocks, %.1f%% writes, "
                 "%llu jobs\n",
                 static_cast<unsigned long long>(ts.records),
@@ -261,77 +475,19 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(ts.jobs));
 
     if (!save_trace.empty()) {
-        saveTrace(trace, save_trace);
+        saveTrace(prep.workload.trace, save_trace);
         std::printf("saved to %s\n", save_trace.c_str());
         return 0;
     }
 
-    // FOR bitmaps and the HDC pin plan.
-    StripingMap striping(cfg.disks,
-                         cfg.stripeUnitBytes / cfg.disk.blockSize,
-                         cfg.disk.totalBlocks());
-    std::vector<LayoutBitmap> bitmaps;
-    if (image)
-        bitmaps = image->buildBitmaps(striping);
-
-    std::vector<ArrayBlock> pinned;
-    const std::vector<ArrayBlock>* pp = nullptr;
-    if (cfg.hdcBytesPerDisk > 0 &&
-        cfg.hdcPolicy == HdcPolicy::Pinned) {
-        pinned = selectPinnedBlocks(trace, striping,
-                                    hdcBlocksPerDisk(cfg));
-        pp = &pinned;
-    }
-
-    if (all_systems) {
-        // One job per system kind, executed as a parallel sweep.
-        const SystemKind kinds[] = {SystemKind::Segm,
-                                    SystemKind::Block,
-                                    SystemKind::NoRA,
-                                    SystemKind::FOR};
-        std::vector<SweepJob> sweep;
-        for (SystemKind k : kinds) {
-            SweepJob job;
-            job.cfg = cfg;
-            job.cfg.kind = k;
-            job.trace = &trace;
-            job.bitmaps = bitmaps.empty() ? nullptr : &bitmaps;
-            job.pinned = pp;
-            // Each job gets its own output files, suffixed by kind.
-            job.opts = opts;
-            if (!opts.statsOutPath.empty())
-                job.opts.statsOutPath = opts.statsOutPath + "." +
-                                        systemKindName(k);
-            if (!opts.tracePath.empty())
-                job.opts.tracePath = opts.tracePath + "." +
-                                     systemKindName(k);
-            sweep.push_back(std::move(job));
-        }
-        const std::vector<RunResult> results = runSweep(sweep, jobs);
-
-        std::printf("\n%-8s %-10s %-10s %-8s %-10s %-10s\n",
-                    "system", "io(s)", "MB/s", "util", "cache-hit",
-                    "lat(ms)");
-        for (std::size_t i = 0; i < sweep.size(); ++i) {
-            const RunResult& r = results[i];
-            std::printf("%-8s %-10.3f %-10.2f %-8.3f %-10.3f "
-                        "%-10.3f\n",
-                        systemKindName(kinds[i]),
-                        toSeconds(r.ioTime), r.throughputMBps,
-                        r.diskUtilization, r.cacheHitRate,
-                        r.meanLatencyMs);
-        }
-        return 0;
-    }
-
-    const RunResult r = runTrace(
-        cfg, trace, opts, bitmaps.empty() ? nullptr : &bitmaps, pp);
-    printReport(std::cout, cfg, r);
-    if (!opts.statsOutPath.empty())
-        inform("wrote stats dump to %s", opts.statsOutPath.c_str());
-    if (!opts.tracePath.empty())
+    const RunResult r = prep.run();
+    printReport(std::cout, prep.cfg.system, r);
+    if (!prep.opts.statsOutPath.empty())
+        inform("wrote stats dump to %s",
+               prep.opts.statsOutPath.c_str());
+    if (!prep.opts.tracePath.empty())
         inform("wrote %llu trace records to %s",
                static_cast<unsigned long long>(r.traceRecords),
-               opts.tracePath.c_str());
+               prep.opts.tracePath.c_str());
     return 0;
 }
