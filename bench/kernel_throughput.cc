@@ -19,6 +19,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -252,32 +253,49 @@ main()
         buildSweepSpecs(w, bitmaps);
     const std::vector<SweepJob> jobs = specsToJobs(specs);
 
+    // DTSIM_JOBS if set, hardware concurrency otherwise — and
+    // recorded in the tracked JSON, so a reader can tell what the
+    // speedup was measured with.
     const unsigned n_jobs = sweepJobs();
+    const unsigned hw = std::thread::hardware_concurrency();
 
     auto start = std::chrono::steady_clock::now();
     const std::vector<RunResult> serial = runSweep(jobs, 1);
     const double sweep_serial_s = secondsSince(start);
 
-    start = std::chrono::steady_clock::now();
-    const std::vector<RunResult> parallel = runSweep(jobs, n_jobs);
-    const double sweep_parallel_s = secondsSince(start);
-
-    // Parallel execution must not change a single result.
-    for (std::size_t i = 0; i < serial.size(); ++i) {
-        if (serial[i].ioTime != parallel[i].ioTime ||
-            serial[i].agg.reads != parallel[i].agg.reads) {
-            warn("job %zu differs between serial and parallel"
-                 " execution", i);
-            return 1;
-        }
-    }
-
-    const double speedup = sweep_serial_s / sweep_parallel_s;
     std::printf("sweep serial:   %.3f s (%zu jobs)\n", sweep_serial_s,
                 jobs.size());
-    std::printf("sweep parallel: %.3f s (%u threads)\n",
-                sweep_parallel_s, n_jobs);
-    std::printf("sweep speedup:  %.2fx\n", speedup);
+
+    // With one worker the "parallel" run would execute the identical
+    // serial path again and report ~1.0x as if it were a measurement.
+    // Skip it and record null instead of publishing a meaningless
+    // number (a single-core box lands here unless DTSIM_JOBS forces
+    // oversubscription).
+    double sweep_parallel_s = -1.0;
+    double speedup = -1.0;
+    if (n_jobs > 1) {
+        start = std::chrono::steady_clock::now();
+        const std::vector<RunResult> parallel = runSweep(jobs, n_jobs);
+        sweep_parallel_s = secondsSince(start);
+
+        // Parallel execution must not change a single result.
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            if (serial[i].ioTime != parallel[i].ioTime ||
+                serial[i].agg.reads != parallel[i].agg.reads) {
+                warn("job %zu differs between serial and parallel"
+                     " execution", i);
+                return 1;
+            }
+        }
+
+        speedup = sweep_serial_s / sweep_parallel_s;
+        std::printf("sweep parallel: %.3f s (%u threads)\n",
+                    sweep_parallel_s, n_jobs);
+        std::printf("sweep speedup:  %.2fx\n", speedup);
+    } else {
+        std::printf("sweep parallel: skipped (1 worker thread; "
+                    "set DTSIM_JOBS>1 to measure)\n");
+    }
 
     // --- Write the tracked trajectory point. ---
     const char* out_env = std::getenv("DTSIM_BENCH_OUT");
@@ -293,13 +311,22 @@ main()
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"events_per_sec_seed\": %.0f,\n"
                  "  \"kernel_speedup\": %.3f,\n"
-                 "  \"sweep_serial_s\": %.3f,\n"
-                 "  \"sweep_parallel_s\": %.3f,\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"jobs\": %u\n"
+                 "  \"sweep_serial_s\": %.3f,\n",
+                 eps, eps_seed, kernel_speedup, sweep_serial_s);
+    if (speedup > 0.0)
+        std::fprintf(f,
+                     "  \"sweep_parallel_s\": %.3f,\n"
+                     "  \"speedup\": %.3f,\n",
+                     sweep_parallel_s, speedup);
+    else
+        std::fprintf(f,
+                     "  \"sweep_parallel_s\": null,\n"
+                     "  \"speedup\": null,\n");
+    std::fprintf(f,
+                 "  \"jobs\": %u,\n"
+                 "  \"hw_threads\": %u\n"
                  "}\n",
-                 eps, eps_seed, kernel_speedup, sweep_serial_s,
-                 sweep_parallel_s, speedup, n_jobs);
+                 n_jobs, hw);
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());
     return 0;

@@ -53,10 +53,28 @@ DiskArray::pickReplica(unsigned disk) const
         : disk;
 }
 
+DiskArray::Pending*
+DiskArray::acquirePending()
+{
+    if (pendingFree_.empty()) {
+        pendingStore_.push_back(std::make_unique<Pending>());
+        return pendingStore_.back().get();
+    }
+    Pending* p = pendingFree_.back();
+    pendingFree_.pop_back();
+    *p = Pending{};
+    return p;
+}
+
+void
+DiskArray::recyclePending(Pending* p)
+{
+    pendingFree_.push_back(p);
+}
+
 void
 DiskArray::submitSub(unsigned disk, const SubRange& sr,
-                     bool is_write,
-                     const std::shared_ptr<Pending>& pending)
+                     bool is_write, Pending* pending)
 {
     IoRequest sub;
     sub.id = nextSubId_++;
@@ -78,6 +96,7 @@ DiskArray::submitSub(unsigned disk, const SubRange& sr,
             --outstanding_;
             if (r.onComplete)
                 r.onComplete(r, pending->lastDone);
+            recyclePending(pending);
         }
     };
     ctrls_[disk]->submit(std::move(sub));
@@ -94,9 +113,14 @@ DiskArray::submit(ArrayRequest req)
     req.issued = eq_.now();
     ++outstanding_;
 
-    const auto subs = striping_.split(req.start, req.count);
+    // Controller submit() only schedules events (no synchronous
+    // completions), so no nested submit() can run while we iterate and
+    // the scratch buffer is safe to reuse across requests.
+    subsScratch_.clear();
+    striping_.splitInto(req.start, req.count, subsScratch_);
+    const std::vector<SubRange>& subs = subsScratch_;
     const bool is_write = req.isWrite;
-    auto pending = std::make_shared<Pending>();
+    Pending* pending = acquirePending();
     pending->req = std::move(req);
     // A mirrored write lands on both replicas of each sub-range.
     pending->remaining =

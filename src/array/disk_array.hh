@@ -28,7 +28,7 @@ namespace dtsim {
 /** One request in the array's logical block space. */
 struct ArrayRequest
 {
-    using Callback = std::function<void(const ArrayRequest&, Tick)>;
+    using Callback = SmallFunction<void(const ArrayRequest&, Tick), 32>;
 
     std::uint64_t id = 0;
     ArrayBlock start = 0;
@@ -128,28 +128,51 @@ class DiskArray
     bool mirrored() const { return mirrored_; }
 
   private:
-    /** Book-keeping for one in-flight logical request. */
+    /**
+     * Book-keeping for one in-flight logical request. Pool-allocated:
+     * sub-request callbacks hold a raw pointer, and the callback that
+     * drops `remaining` to zero recycles the object — every other
+     * sub-callback has already run by then (each runs exactly once and
+     * decrements), and an already-run callback never dereferences the
+     * pointer again, so no reference counting is needed.
+     */
     struct Pending
     {
         ArrayRequest req;
-        std::size_t remaining;
+        std::size_t remaining = 0;
         bool anyMedia = false;
         bool anyNonHdc = false;
         Tick lastDone = 0;
     };
+
+    /** Fresh (default-state) Pending from the pool. */
+    Pending* acquirePending();
+
+    /** Return a completed Pending to the pool. */
+    void recyclePending(Pending* p);
 
     /** Replica choice for a mirrored read. */
     unsigned pickReplica(unsigned disk) const;
 
     /** Issue one sub-request to one controller. */
     void submitSub(unsigned disk, const SubRange& sr, bool is_write,
-                   const std::shared_ptr<Pending>& pending);
+                   Pending* pending);
 
     EventQueue& eq_;
     ScsiBus bus_;
     bool mirrored_;
     StripingMap striping_;
     std::vector<std::unique_ptr<DiskController>> ctrls_;
+
+    /** Reused split() output buffer (submit() is never re-entered). */
+    std::vector<SubRange> subsScratch_;
+
+    /** Owns every Pending ever allocated (callbacks see raw ptrs). */
+    std::vector<std::unique_ptr<Pending>> pendingStore_;
+
+    /** Free list over pendingStore_ entries. */
+    std::vector<Pending*> pendingFree_;
+
     std::uint64_t nextSubId_ = 1;
     std::uint64_t outstanding_ = 0;
 };

@@ -42,6 +42,15 @@ std::vector<SubRange>
 StripingMap::split(ArrayBlock start, std::uint64_t count) const
 {
     std::vector<SubRange> out;
+    splitInto(start, count, out);
+    return out;
+}
+
+void
+StripingMap::splitInto(ArrayBlock start, std::uint64_t count,
+                       std::vector<SubRange>& out) const
+{
+    const std::size_t base = out.size();
     std::uint64_t done = 0;
     while (done < count) {
         const ArrayBlock lb = start + done;
@@ -51,7 +60,7 @@ StripingMap::split(ArrayBlock start, std::uint64_t count) const
 
         // Merge with the previous sub-range when physically
         // contiguous on the same disk (always true when disks == 1).
-        if (!out.empty() && out.back().disk == loc.disk &&
+        if (out.size() > base && out.back().disk == loc.disk &&
             out.back().start + out.back().count == loc.block) {
             out.back().count += n;
         } else {
@@ -59,7 +68,6 @@ StripingMap::split(ArrayBlock start, std::uint64_t count) const
         }
         done += n;
     }
-    return out;
 }
 
 } // namespace dtsim

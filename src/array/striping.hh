@@ -67,6 +67,13 @@ class StripingMap
     std::vector<SubRange> split(ArrayBlock start,
                                 std::uint64_t count) const;
 
+    /**
+     * split() into a caller-owned vector (appended to), so per-request
+     * callers can reuse one buffer instead of allocating each time.
+     */
+    void splitInto(ArrayBlock start, std::uint64_t count,
+                   std::vector<SubRange>& out) const;
+
     unsigned disks() const { return disks_; }
     std::uint64_t unitBlocks() const { return unit_; }
 

@@ -1,5 +1,7 @@
 #include "cache/block_cache.hh"
 
+#include <cassert>
+
 #include "sim/logging.hh"
 
 namespace dtsim {
@@ -15,16 +17,21 @@ blockPolicyName(BlockPolicy p)
 }
 
 BlockCache::BlockCache(std::uint64_t capacity_blocks, BlockPolicy policy)
-    : capacity_(capacity_blocks), policy_(policy)
+    : capacity_(capacity_blocks), policy_(policy),
+      slab_(static_cast<std::uint32_t>(capacity_blocks)),
+      map_(capacity_blocks)
 {
     if (capacity_blocks == 0)
         fatal("BlockCache: capacity must be > 0");
+    if (capacity_blocks >= kNullSlot)
+        fatal("BlockCache: capacity %llu exceeds the slab slot space",
+              static_cast<unsigned long long>(capacity_blocks));
 }
 
 bool
 BlockCache::contains(BlockNum block) const
 {
-    return map_.count(block) != 0;
+    return map_.contains(block);
 }
 
 std::uint64_t
@@ -32,26 +39,26 @@ BlockCache::lookupPrefix(BlockNum start, std::uint64_t count)
 {
     std::uint64_t hits = 0;
     while (hits < count) {
-        auto it = map_.find(start + hits);
-        if (it == map_.end())
+        const std::uint32_t* slot = map_.find(start + hits);
+        if (!slot)
             break;
         // Mark as consumed: move to the front of the used list.
-        Where& w = it->second;
-        if (w.it->spec) {
-            w.it->spec = false;
+        const std::uint32_t n = *slot;
+        Entry& e = slab_[n];
+        if (e.spec) {
+            e.spec = false;
             ++ra_.specUsed;
         }
-        if (w.inUsed) {
-            used_.splice(used_.begin(), used_, w.it);
+        if (e.used) {
+            Ops::moveToFront(slab_, used_, n);
         } else {
-            const BlockNum b = w.it->block;
-            unused_.erase(w.it);
-            used_.push_front(Node{b, true, false});
-            w.it = used_.begin();
-            w.inUsed = true;
+            Ops::unlink(slab_, unused_, n);
+            e.used = true;
+            Ops::pushFront(slab_, used_, n);
         }
         ++hits;
     }
+    checkInvariants();
     return hits;
 }
 
@@ -63,32 +70,36 @@ BlockCache::evictOne()
         // Most recently consumed block first; if nothing has been
         // consumed yet, fall back to the oldest read-ahead block.
         if (!used_.empty()) {
-            const BlockNum b = used_.front().block;
-            used_.pop_front();
-            map_.erase(b);
+            const std::uint32_t n = used_.head;
+            Ops::unlink(slab_, used_, n);
+            map_.erase(slab_[n].block);
+            slab_.release(n);
             return;
         }
-        if (unused_.front().spec)
+        const std::uint32_t n = unused_.head;
+        if (slab_[n].spec)
             ++ra_.specWasted;
-        const BlockNum b = unused_.front().block;
-        unused_.pop_front();
-        map_.erase(b);
+        Ops::unlink(slab_, unused_, n);
+        map_.erase(slab_[n].block);
+        slab_.release(n);
         return;
     }
     // LRU: the least recently consumed block; unconsumed read-ahead
     // blocks are newer than any consumed block by definition of use,
     // so prefer the oldest consumed, then the oldest unconsumed.
     if (!used_.empty()) {
-        const BlockNum b = used_.back().block;
-        used_.pop_back();
-        map_.erase(b);
+        const std::uint32_t n = used_.tail;
+        Ops::unlink(slab_, used_, n);
+        map_.erase(slab_[n].block);
+        slab_.release(n);
         return;
     }
-    if (unused_.front().spec)
+    const std::uint32_t n = unused_.head;
+    if (slab_[n].spec)
         ++ra_.specWasted;
-    const BlockNum b = unused_.front().block;
-    unused_.pop_front();
-    map_.erase(b);
+    Ops::unlink(slab_, unused_, n);
+    map_.erase(slab_[n].block);
+    slab_.release(n);
 }
 
 void
@@ -97,35 +108,37 @@ BlockCache::insertRun(BlockNum start, std::uint64_t count,
 {
     for (std::uint64_t i = 0; i < count; ++i) {
         const BlockNum b = start + i;
-        auto it = map_.find(b);
-        if (it != map_.end())
+        if (map_.contains(b))
             continue;   // Already cached; keep its state.
         if (map_.size() >= capacity_)
             evictOne();
         const bool spec = i >= spec_offset;
         if (spec)
             ++ra_.specInserted;
-        unused_.push_back(Node{b, false, spec});
-        auto nit = unused_.end();
-        --nit;
-        map_.emplace(b, Where{nit, false});
+        const std::uint32_t n = slab_.allocate();
+        slab_[n] = Entry{b, false, spec};
+        Ops::pushBack(slab_, unused_, n);
+        map_.insert(b, n);
     }
+    checkInvariants();
 }
 
 void
 BlockCache::eraseBlock(BlockNum block)
 {
-    auto it = map_.find(block);
-    if (it == map_.end())
+    const std::uint32_t* slot = map_.find(block);
+    if (!slot)
         return;
-    Where& w = it->second;
-    if (w.it->spec)
+    const std::uint32_t n = *slot;
+    Entry& e = slab_[n];
+    if (e.spec)
         ++ra_.specWasted;
-    if (w.inUsed)
-        used_.erase(w.it);
+    if (e.used)
+        Ops::unlink(slab_, used_, n);
     else
-        unused_.erase(w.it);
-    map_.erase(it);
+        Ops::unlink(slab_, unused_, n);
+    slab_.release(n);
+    map_.erase(block);
 }
 
 void
@@ -133,6 +146,7 @@ BlockCache::invalidateRange(BlockNum start, std::uint64_t count)
 {
     for (std::uint64_t i = 0; i < count; ++i)
         eraseBlock(start + i);
+    checkInvariants();
 }
 
 } // namespace dtsim

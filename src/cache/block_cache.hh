@@ -11,16 +11,23 @@
  * to be needed again. Blocks that were read ahead but not yet consumed
  * are protected until no consumed block remains (they then fall back
  * to FIFO order). A plain LRU mode is provided for ablation.
+ *
+ * Residency state lives in a pre-allocated slot slab (prev/next
+ * indices + freelist) with an open-addressing block->slot table, so
+ * the per-access path performs no heap allocation; the replacement
+ * decisions are tick-identical to the previous std::list +
+ * std::unordered_map implementation (tests/test_container_equiv.cc
+ * drives both against each other).
  */
 
 #ifndef DTSIM_CACHE_BLOCK_CACHE_HH
 #define DTSIM_CACHE_BLOCK_CACHE_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "cache/controller_cache.hh"
+#include "sim/flat_table.hh"
+#include "sim/slab_list.hh"
 
 namespace dtsim {
 
@@ -42,6 +49,17 @@ class BlockCache : public ControllerCache
 
     std::uint64_t lookupPrefix(BlockNum start,
                                std::uint64_t count) override;
+
+    /**
+     * Bulk lookupPrefix performs the per-block operation sequence
+     * verbatim, so the blockwise probe is the same call.
+     */
+    std::uint64_t
+    lookupPrefixBlockwise(BlockNum start, std::uint64_t count) override
+    {
+        return lookupPrefix(start, count);
+    }
+
     bool contains(BlockNum block) const override;
     using ControllerCache::insertRun;
     void insertRun(BlockNum start, std::uint64_t count,
@@ -65,35 +83,49 @@ class BlockCache : public ControllerCache
 
   private:
     /**
-     * Residency lists. `used_` holds blocks the host has consumed,
-     * most recently consumed at the front; `unused_` holds read-ahead
-     * blocks not yet consumed, oldest at the front.
+     * One resident block. `used` is true once the host has consumed
+     * the block (it then lives on the used list, most recently
+     * consumed at the front); unconsumed blocks live on the unused
+     * list, oldest insertion at the front.
      */
-    struct Node
+    struct Entry
     {
-        BlockNum block;
-        bool used;
-        bool spec;  ///< read ahead speculatively, not yet consumed
+        BlockNum block = 0;
+        bool used = false;
+        bool spec = false;  ///< read ahead speculatively, not consumed
     };
 
-    using List = std::list<Node>;
-
-    struct Where
-    {
-        List::iterator it;
-        bool inUsed;
-    };
+    using Ops = SlabListOps<Entry>;
 
     /** Evict one block according to the policy. */
     void evictOne();
 
     void eraseBlock(BlockNum block);
 
+    /**
+     * Debug-build structural invariants: every slot is either free or
+     * on exactly one list, and the map indexes exactly the resident
+     * set. Compiled out under NDEBUG.
+     */
+    void
+    checkInvariants() const
+    {
+#ifndef NDEBUG
+        // Free slots plus resident slots account for every slab slot,
+        // so the container swap cannot silently leak capacity.
+        assert(slab_.freeCount() + used_.size + unused_.size ==
+               slab_.capacity());
+        // The map indexes exactly the resident set.
+        assert(map_.size() == used_.size + unused_.size);
+#endif
+    }
+
     std::uint64_t capacity_;
     BlockPolicy policy_;
-    List used_;     ///< Front = most recently consumed.
-    List unused_;   ///< Front = oldest insertion.
-    std::unordered_map<BlockNum, Where> map_;
+    Slab<Entry> slab_;
+    SlabList used_;     ///< Front = most recently consumed.
+    SlabList unused_;   ///< Front = oldest insertion.
+    FlatTable<std::uint32_t> map_;  ///< block -> slab slot
     std::uint64_t evictions_ = 0;
 };
 

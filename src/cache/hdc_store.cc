@@ -3,7 +3,7 @@
 namespace dtsim {
 
 HdcStore::HdcStore(std::uint64_t capacity_blocks)
-    : capacity_(capacity_blocks)
+    : capacity_(capacity_blocks), blocks_(capacity_blocks)
 {
 }
 
@@ -14,7 +14,7 @@ HdcStore::pin(BlockNum block)
         ++counters_.pinFailures;
         return false;
     }
-    if (!blocks_.emplace(block, false).second) {
+    if (!blocks_.insert(block, 0).second) {
         ++counters_.pinFailures;
         return false;
     }
@@ -25,24 +25,24 @@ HdcStore::pin(BlockNum block)
 bool
 HdcStore::unpin(BlockNum block, bool* was_dirty)
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    const std::uint8_t* d = blocks_.find(block);
+    if (!d)
         return false;
     if (was_dirty)
-        *was_dirty = it->second;
-    if (it->second) {
+        *was_dirty = *d != 0;
+    if (*d) {
         --dirty_;
         ++counters_.dirtyUnpins;
     }
     ++counters_.unpins;
-    blocks_.erase(it);
+    blocks_.erase(block);
     return true;
 }
 
 bool
 HdcStore::contains(BlockNum block) const
 {
-    return blocks_.count(block) != 0;
+    return blocks_.contains(block);
 }
 
 std::uint64_t
@@ -63,11 +63,11 @@ HdcStore::allPinned(BlockNum start, std::uint64_t count) const
 bool
 HdcStore::absorbWrite(BlockNum block)
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    std::uint8_t* d = blocks_.find(block);
+    if (!d)
         return false;
-    if (!it->second) {
-        it->second = true;
+    if (!*d) {
+        *d = 1;
         ++dirty_;
     }
     ++counters_.absorbedWrites;
@@ -81,12 +81,12 @@ HdcStore::flush()
     counters_.flushedBlocks += dirty_;
     std::vector<BlockNum> out;
     out.reserve(dirty_);
-    for (auto& [block, is_dirty] : blocks_) {
+    blocks_.forEach([&](std::uint64_t block, std::uint8_t& is_dirty) {
         if (is_dirty) {
             out.push_back(block);
-            is_dirty = false;
+            is_dirty = 0;
         }
-    }
+    });
     dirty_ = 0;
     return out;
 }

@@ -13,10 +13,10 @@
 #define DTSIM_CACHE_HDC_STORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "disk/geometry.hh"
+#include "sim/flat_table.hh"
 
 namespace dtsim {
 
@@ -88,7 +88,14 @@ class HdcStore
 
   private:
     std::uint64_t capacity_;
-    std::unordered_map<BlockNum, bool> blocks_;  ///< block -> dirty
+
+    /**
+     * block -> dirty flag. Open-addressing instead of unordered_map:
+     * pin/unpin/absorb/contains are on the per-access controller
+     * path. flush() iteration order is unspecified either way; the
+     * controller sorts the returned set before building media jobs.
+     */
+    FlatTable<std::uint8_t> blocks_;
     std::uint64_t dirty_ = 0;
     HdcCounters counters_;
 };

@@ -112,10 +112,11 @@ SegmentCache::contains(BlockNum block) const
 std::size_t
 SegmentCache::pickVictim()
 {
-    // Prefer an unused segment.
-    for (std::size_t i = 0; i < segments_.size(); ++i)
-        if (!segments_[i].valid)
-            return i;
+    // Prefer an unused segment (skip the scan when all are valid).
+    if (validCount_ < segments_.size())
+        for (std::size_t i = 0; i < segments_.size(); ++i)
+            if (!segments_[i].valid)
+                return i;
 
     ++replacements_;
     switch (policy_) {
@@ -156,12 +157,25 @@ SegmentCache::insertRun(BlockNum start, std::uint64_t count,
     const BlockNum run_spec_lo = start + std::min(spec_offset, count);
 
     // Stream continuation: extend the segment that ends where this run
-    // starts (the segment keeps only its most recent segmentBlocks_).
-    int idx = findAppendable(start);
-    if (idx < 0) {
-        // Or a segment already containing the run start (re-read).
-        idx = findSegment(start);
+    // starts (the segment keeps only its most recent segmentBlocks_),
+    // or fall back to a segment already containing the run start
+    // (re-read). One scan finds both candidates; appendable wins,
+    // matching the findAppendable-then-findSegment pair it replaces.
+    int idx = -1;
+    int containing = -1;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const Segment& s = segments_[i];
+        if (!s.valid)
+            continue;
+        if (s.end == start) {
+            idx = static_cast<int>(i);
+            break;
+        }
+        if (containing < 0 && start >= s.start && start < s.end)
+            containing = static_cast<int>(i);
     }
+    if (idx < 0)
+        idx = containing;
     if (idx >= 0) {
         Segment& s = segments_[static_cast<std::size_t>(idx)];
         // Retire any old unconsumed read-ahead the demand portion
@@ -200,6 +214,8 @@ SegmentCache::insertRun(BlockNum start, std::uint64_t count,
     Segment& s = segments_[v];
     if (s.valid)
         ra_.specWasted += specBlocks(s);
+    else
+        ++validCount_;
     s.valid = true;
     s.end = run_end;
     s.start = count > segmentBlocks_ ? s.end - segmentBlocks_ : start;
@@ -223,6 +239,7 @@ SegmentCache::invalidateRange(BlockNum start, std::uint64_t count)
         if (lo <= s.start && hi >= s.end) {
             ra_.specWasted += specBlocks(s);
             s.valid = false;            // Fully covered.
+            --validCount_;
         } else if (lo <= s.start) {
             if (spec_lo < hi && spec_lo < s.end)
                 ra_.specWasted += std::min(hi, s.end) - spec_lo;
@@ -233,8 +250,10 @@ SegmentCache::invalidateRange(BlockNum start, std::uint64_t count)
                 ra_.specWasted += s.end - std::max(spec_lo, lo);
             s.end = lo;                 // Tail (or middle) overlap:
         }                               // drop everything from lo on.
-        if (s.valid && s.start >= s.end)
+        if (s.valid && s.start >= s.end) {
             s.valid = false;
+            --validCount_;
+        }
     }
 }
 

@@ -100,6 +100,7 @@ class SegmentCache : public ControllerCache
     std::size_t pickVictim();
 
     std::vector<Segment> segments_;
+    std::size_t validCount_ = 0;  ///< pickVictim scan fast path
     std::uint64_t segmentBlocks_;
     SegmentPolicy policy_;
     Rng rng_;

@@ -103,6 +103,23 @@ DiskController::utilization() const
            static_cast<double>(now);
 }
 
+std::unique_ptr<MediaJob>
+DiskController::allocJob()
+{
+    if (jobPool_.empty())
+        return std::make_unique<MediaJob>();
+    std::unique_ptr<MediaJob> job = std::move(jobPool_.back());
+    jobPool_.pop_back();
+    *job = MediaJob{};
+    return job;
+}
+
+void
+DiskController::recycleJob(std::unique_ptr<MediaJob> job)
+{
+    jobPool_.push_back(std::move(job));
+}
+
 void
 DiskController::submit(IoRequest req)
 {
@@ -130,6 +147,12 @@ DiskController::submit(IoRequest req)
 DiskController::PrefixHit
 DiskController::cachedPrefix(BlockNum start, std::uint64_t count)
 {
+    // Per-block semantics: each block checks the HDC store first,
+    // then the read-ahead cache. The cache probe can still batch
+    // consecutive blocks because the two stores are disjoint by
+    // construction (insertIntoCache() skips pinned blocks; pinBlock()
+    // invalidates the cached copy), so no block inside a cache-hit
+    // prefix could have hit the HDC check instead.
     PrefixHit hit;
     while (hit.blocks < count) {
         const BlockNum b = start + hit.blocks;
@@ -138,11 +161,11 @@ DiskController::cachedPrefix(BlockNum start, std::uint64_t count)
             ++hit.hdcBlocks;
             continue;
         }
-        if (raCache_->lookupPrefix(b, 1) == 1) {
-            ++hit.blocks;
-            continue;
-        }
-        break;
+        const std::uint64_t n =
+            raCache_->lookupPrefixBlockwise(b, count - hit.blocks);
+        if (n == 0)
+            break;
+        hit.blocks += n;
     }
     return hit;
 }
@@ -199,7 +222,7 @@ DiskController::handleRead(IoRequest req)
         return;
     }
 
-    auto job = std::make_unique<MediaJob>();
+    auto job = allocJob();
     job->mediaStart = req.start + hit.blocks;
     job->mediaCount = req.count - hit.blocks - suffix;
     job->cylinder = geom_.blockToCylinder(job->mediaStart);
@@ -231,7 +254,7 @@ DiskController::handleWrite(IoRequest req)
     // Write-through: cached read-ahead copies become stale.
     raCache_->invalidateRange(req.start, req.count);
 
-    auto job = std::make_unique<MediaJob>();
+    auto job = allocJob();
     job->mediaStart = req.start;
     job->mediaCount = req.count;
     job->cylinder = geom_.blockToCylinder(req.start);
@@ -373,6 +396,7 @@ DiskController::onMediaDone(std::unique_ptr<MediaJob> job,
     } else {
         respond(std::move(job->req), eq_.now());
     }
+    recycleJob(std::move(job));
 
     tryStartMedia();
 }
@@ -462,7 +486,7 @@ DiskController::unpinBlock(BlockNum block)
         return false;
     if (dirty) {
         // The released block's data must reach the media.
-        auto job = std::make_unique<MediaJob>();
+        auto job = allocJob();
         job->mediaStart = block;
         job->mediaCount = 1;
         job->cylinder = geom_.blockToCylinder(block);
@@ -610,7 +634,7 @@ DiskController::flushHdc()
         std::size_t j = i + 1;
         while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1)
             ++j;
-        auto job = std::make_unique<MediaJob>();
+        auto job = allocJob();
         job->mediaStart = dirty[i];
         job->mediaCount = j - i;
         job->cylinder = geom_.blockToCylinder(dirty[i]);

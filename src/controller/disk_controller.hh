@@ -246,6 +246,12 @@ class DiskController
     void insertIntoCache(BlockNum start, std::uint64_t count,
                          std::uint64_t spec_offset);
 
+    /** Default-state MediaJob, recycled through jobPool_. */
+    std::unique_ptr<MediaJob> allocJob();
+
+    /** Return a finished job to the pool. */
+    void recycleJob(std::unique_ptr<MediaJob> job);
+
     EventQueue& eq_;
     ScsiBus& bus_;
     DiskParams params_;
@@ -261,6 +267,15 @@ class DiskController
     const LayoutBitmap* bitmap_ = nullptr;
 
     std::uint64_t maxReadBlocks_;   ///< Segment-size read budget.
+
+    /**
+     * Free list of MediaJob allocations: jobs cycle
+     * handleRead/handleWrite -> scheduler -> onMediaDone entirely
+     * within one controller, so recycling them removes a per-media-job
+     * heap round trip.
+     */
+    std::vector<std::unique_ptr<MediaJob>> jobPool_;
+
     bool mediaBusy_ = false;
     std::uint64_t seq_ = 0;
     std::uint64_t outstanding_ = 0;

@@ -7,7 +7,8 @@
 #define DTSIM_CONTROLLER_IO_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
+
+#include "sim/small_function.hh"
 
 #include "disk/geometry.hh"
 #include "sim/ticks.hh"
@@ -39,7 +40,7 @@ struct ServiceBreakdown
 struct IoRequest
 {
     /** Completion callback: (request, completion time). */
-    using Callback = std::function<void(const IoRequest&, Tick)>;
+    using Callback = SmallFunction<void(const IoRequest&, Tick), 32>;
 
     std::uint64_t id = 0;
     unsigned diskId = 0;

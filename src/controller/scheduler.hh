@@ -4,6 +4,17 @@
  *
  * The paper's controllers use the LOOK (elevator) algorithm; FCFS,
  * C-LOOK, and SSTF are provided for the scheduling ablation.
+ *
+ * The sweep schedulers used to keep jobs in a std::multimap keyed by
+ * cylinder (a red-black tree: one heap allocation per push, pointer
+ * chases per pick). They now use per-cylinder FIFO queues threaded
+ * through a slab of reusable job slots, with a two-level occupancy
+ * bitmap for the next/previous-occupied-cylinder scans every policy
+ * is built from. Pop order is identical to the multimap by
+ * construction: equal-cylinder jobs keep insertion order, a
+ * lower_bound-style pick takes the bucket front, a prev(upper_bound)-
+ * style pick takes the bucket back (tests/test_container_equiv.cc
+ * drives both implementations against each other).
  */
 
 #ifndef DTSIM_CONTROLLER_SCHEDULER_HH
@@ -12,8 +23,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "controller/io_request.hh"
 #include "disk/geometry.hh"
@@ -143,11 +154,51 @@ class SweepScheduler : public Scheduler
     std::unique_ptr<MediaJob> doPop(std::uint32_t cylinder) override;
 
   private:
-    using Map = std::multimap<std::uint32_t,
-                              std::unique_ptr<MediaJob>>;
+    static constexpr std::uint32_t kNull = 0xffffffffu;
+
+    /** One queued job threaded into its cylinder's FIFO. */
+    struct JobSlot
+    {
+        std::unique_ptr<MediaJob> job;
+        std::uint32_t prev = kNull;
+        std::uint32_t next = kNull;
+    };
+
+    /** Per-cylinder queue ends (insertion order front to back). */
+    struct Bucket
+    {
+        std::uint32_t head = kNull;
+        std::uint32_t tail = kNull;
+    };
+
+    /** Grow the bucket/bitmap arrays to cover cylinder `cyl`. */
+    void ensureCylinder(std::uint32_t cyl);
+
+    void setBit(std::uint32_t cyl);
+    void clearBit(std::uint32_t cyl);
+
+    /** Smallest occupied cylinder >= c (false if none). */
+    bool findAtOrAbove(std::uint32_t c, std::uint32_t* out) const;
+
+    /** Largest occupied cylinder <= c (false if none). */
+    bool findAtOrBelow(std::uint32_t c, std::uint32_t* out) const;
+
+    /** Dequeue the oldest / newest job of an occupied cylinder. */
+    std::unique_ptr<MediaJob> popFront(std::uint32_t cyl);
+    std::unique_ptr<MediaJob> popBack(std::uint32_t cyl);
+
+    std::unique_ptr<MediaJob> takeSlot(std::uint32_t cyl,
+                                       std::uint32_t n);
 
     Kind kind_;
-    Map byCylinder_;
+
+    /** Job slots, reused through a freelist (steady state: no alloc). */
+    std::vector<JobSlot> slots_;
+    std::uint32_t freeHead_ = kNull;
+
+    std::vector<Bucket> buckets_;       ///< indexed by cylinder
+    std::vector<std::uint64_t> bits_;   ///< occupancy, bit/cylinder
+    std::vector<std::uint64_t> summary_;///< bit per bits_ word
     std::size_t count_ = 0;
     bool goingUp_ = true;
 };

@@ -5,39 +5,41 @@
 namespace dtsim {
 
 BufferCache::BufferCache(std::uint64_t capacity_blocks)
-    : capacity_(capacity_blocks)
+    : capacity_(capacity_blocks),
+      slab_(static_cast<std::uint32_t>(capacity_blocks)),
+      map_(capacity_blocks)
 {
     if (capacity_blocks == 0)
         fatal("BufferCache: capacity must be > 0");
-}
-
-void
-BufferCache::touch(List::iterator it)
-{
-    lru_.splice(lru_.begin(), lru_, it);
+    if (capacity_blocks >= kNullSlot)
+        fatal("BufferCache: capacity %llu exceeds the slab slot space",
+              static_cast<unsigned long long>(capacity_blocks));
 }
 
 bool
 BufferCache::readHit(ArrayBlock block)
 {
     ++stats_.readLookups;
-    auto it = map_.find(block);
-    if (it == map_.end()) {
+    const std::uint32_t* slot = map_.find(block);
+    if (!slot) {
         ++stats_.readMisses;
         return false;
     }
-    touch(it->second);
+    Ops::moveToFront(slab_, lru_, *slot);
     return true;
 }
 
 void
 BufferCache::evictOne(std::vector<ArrayBlock>& writebacks)
 {
-    const Node victim = lru_.back();
-    lru_.pop_back();
+    const std::uint32_t n = lru_.tail;
+    const Entry victim = slab_[n];
+    Ops::unlink(slab_, lru_, n);
+    slab_.release(n);
     map_.erase(victim.block);
     ++stats_.evictions;
     if (victim.dirty) {
+        --dirty_;
         writebacks.push_back(victim.block);
         ++stats_.dirtyWritebacks;
     }
@@ -47,15 +49,18 @@ void
 BufferCache::install(ArrayBlock block,
                      std::vector<ArrayBlock>& writebacks)
 {
-    auto it = map_.find(block);
-    if (it != map_.end()) {
-        touch(it->second);
+    const std::uint32_t* slot = map_.find(block);
+    if (slot) {
+        Ops::moveToFront(slab_, lru_, *slot);
         return;
     }
     if (map_.size() >= capacity_)
         evictOne(writebacks);
-    lru_.push_front(Node{block, false});
-    map_.emplace(block, lru_.begin());
+    const std::uint32_t n = slab_.allocate();
+    slab_[n] = Entry{block, false};
+    Ops::pushFront(slab_, lru_, n);
+    map_.insert(block, n);
+    checkInvariants();
 }
 
 bool
@@ -63,18 +68,25 @@ BufferCache::write(ArrayBlock block,
                    std::vector<ArrayBlock>& writebacks)
 {
     ++stats_.writeLookups;
-    auto it = map_.find(block);
-    if (it != map_.end()) {
-        if (it->second->dirty)
+    const std::uint32_t* slot = map_.find(block);
+    if (slot) {
+        Entry& e = slab_[*slot];
+        if (e.dirty)
             ++stats_.writeMerges;
-        it->second->dirty = true;
-        touch(it->second);
+        else
+            ++dirty_;
+        e.dirty = true;
+        Ops::moveToFront(slab_, lru_, *slot);
         return true;
     }
     if (map_.size() >= capacity_)
         evictOne(writebacks);
-    lru_.push_front(Node{block, true});
-    map_.emplace(block, lru_.begin());
+    const std::uint32_t n = slab_.allocate();
+    slab_[n] = Entry{block, true};
+    ++dirty_;
+    Ops::pushFront(slab_, lru_, n);
+    map_.insert(block, n);
+    checkInvariants();
     return false;
 }
 
@@ -82,10 +94,17 @@ std::vector<ArrayBlock>
 BufferCache::sync()
 {
     std::vector<ArrayBlock> dirty;
-    for (Node& n : lru_) {
-        if (n.dirty) {
-            dirty.push_back(n.block);
-            n.dirty = false;
+    dirty.reserve(dirty_);
+    // Walk MRU -> LRU, stopping once every dirty entry is collected:
+    // the order matches the full walk, and in steady state the dirty
+    // set is tiny relative to the list.
+    for (std::uint32_t n = lru_.head;
+         dirty_ != 0 && n != kNullSlot; n = slab_.nextOf(n)) {
+        Entry& e = slab_[n];
+        if (e.dirty) {
+            dirty.push_back(e.block);
+            e.dirty = false;
+            --dirty_;
         }
     }
     return dirty;
@@ -95,15 +114,20 @@ std::vector<ArrayBlock>
 BufferCache::dropAll()
 {
     std::vector<ArrayBlock> dirty = sync();
-    lru_.clear();
+    while (lru_.head != kNullSlot) {
+        const std::uint32_t n = lru_.head;
+        Ops::unlink(slab_, lru_, n);
+        slab_.release(n);
+    }
     map_.clear();
+    checkInvariants();
     return dirty;
 }
 
 bool
 BufferCache::contains(ArrayBlock block) const
 {
-    return map_.count(block) != 0;
+    return map_.contains(block);
 }
 
 } // namespace dtsim

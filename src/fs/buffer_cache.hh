@@ -9,17 +9,23 @@
  * dirty block is evicted or at the periodic sync, merging repeated
  * writes to the same block exactly as the paper observes (34% write
  * requests becoming 20% write accesses for the file server).
+ *
+ * The LRU is a pre-allocated slot slab plus an open-addressing
+ * block->slot table (capacity is fixed at construction), so the
+ * per-access path -- millions of lookups per generated server trace --
+ * performs no heap allocation. Decisions are tick-identical to the
+ * previous std::list + std::unordered_map implementation.
  */
 
 #ifndef DTSIM_FS_BUFFER_CACHE_HH
 #define DTSIM_FS_BUFFER_CACHE_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "array/striping.hh"
+#include "sim/flat_table.hh"
+#include "sim/slab_list.hh"
 
 namespace dtsim {
 
@@ -98,20 +104,31 @@ class BufferCache
     const BufferCacheStats& stats() const { return stats_; }
 
   private:
-    struct Node
+    struct Entry
     {
-        ArrayBlock block;
-        bool dirty;
+        ArrayBlock block = 0;
+        bool dirty = false;
     };
 
-    using List = std::list<Node>;
+    using Ops = SlabListOps<Entry>;
 
-    void touch(List::iterator it);
     void evictOne(std::vector<ArrayBlock>& writebacks);
 
+    /** Debug-build slab/map accounting invariants (see BlockCache). */
+    void
+    checkInvariants() const
+    {
+#ifndef NDEBUG
+        assert(slab_.freeCount() + lru_.size == slab_.capacity());
+        assert(map_.size() == lru_.size);
+#endif
+    }
+
     std::uint64_t capacity_;
-    List lru_;  ///< Front = most recently used.
-    std::unordered_map<ArrayBlock, List::iterator> map_;
+    Slab<Entry> slab_;
+    SlabList lru_;  ///< Front = most recently used.
+    FlatTable<std::uint32_t> map_;  ///< block -> slab slot
+    std::uint64_t dirty_ = 0;  ///< dirty entries (sync early-exit)
     BufferCacheStats stats_;
 };
 

@@ -1,27 +1,71 @@
 #include "fs/file_layout.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dtsim {
 
-std::uint64_t
-FileLayout::blocks() const
+void
+FileLayout::finalize()
 {
+    extentEnds.resize(extents.size());
     std::uint64_t n = 0;
-    for (const FileExtent& e : extents)
-        n += e.count;
-    return n;
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+        n += extents[i].count;
+        extentEnds[i] = n;
+    }
+    blockCount = n;
 }
 
 ArrayBlock
 FileLayout::blockAt(std::uint64_t idx) const
 {
+    if (extentEnds.size() == extents.size()) {
+        const auto it = std::upper_bound(extentEnds.begin(),
+                                         extentEnds.end(), idx);
+        if (it == extentEnds.end())
+            panic("FileLayout: block index out of range");
+        const std::size_t e =
+            static_cast<std::size_t>(it - extentEnds.begin());
+        const std::uint64_t base = e == 0 ? 0 : extentEnds[e - 1];
+        return extents[e].start + (idx - base);
+    }
     for (const FileExtent& e : extents) {
         if (idx < e.count)
             return e.start + idx;
         idx -= e.count;
     }
     panic("FileLayout: block index out of range");
+}
+
+std::uint64_t
+FileLayout::contiguousRun(std::uint64_t idx,
+                          std::uint64_t max_count) const
+{
+    if (max_count == 0)
+        return 0;
+    if (extentEnds.size() != extents.size()) {
+        // No index built: fall back to the block-by-block probe.
+        const ArrayBlock lb = blockAt(idx);
+        std::uint64_t run = 1;
+        while (run < max_count && blockAt(idx + run) == lb + run)
+            ++run;
+        return run;
+    }
+    const auto it = std::upper_bound(extentEnds.begin(),
+                                     extentEnds.end(), idx);
+    if (it == extentEnds.end())
+        panic("FileLayout: block index out of range");
+    std::size_t e = static_cast<std::size_t>(it - extentEnds.begin());
+    std::uint64_t run = extentEnds[e] - idx;
+    // Merge extents that happen to abut physically (gap of zero).
+    while (run < max_count && e + 1 < extents.size() &&
+           extents[e + 1].start == extents[e].start + extents[e].count) {
+        ++e;
+        run += extents[e].count;
+    }
+    return std::min(run, max_count);
 }
 
 FileSystemImage::FileSystemImage(
@@ -52,6 +96,7 @@ FileSystemImage::FileSystemImage(
             ++nextFree_;
         }
         f.extents.push_back(cur);
+        f.finalize();
         dataBlocks_ += nblocks;
         files_.push_back(std::move(f));
     }
@@ -74,16 +119,18 @@ FileSystemImage::buildBitmaps(const StripingMap& striping) const
         maps.emplace_back(per_disk);
 
     for (const FileLayout& f : files_) {
-        const std::uint64_t n = f.blocks();
         PhysicalLoc prev{};
-        for (std::uint64_t i = 0; i < n; ++i) {
-            const PhysicalLoc loc =
-                striping.toPhysical(f.blockAt(i));
-            if (i > 0 && loc.disk == prev.disk &&
-                loc.block == prev.block + 1) {
-                maps[loc.disk].set(loc.block, true);
+        std::uint64_t i = 0;
+        for (const FileExtent& e : f.extents) {
+            for (std::uint64_t off = 0; off < e.count; ++off, ++i) {
+                const PhysicalLoc loc =
+                    striping.toPhysical(e.start + off);
+                if (i > 0 && loc.disk == prev.disk &&
+                    loc.block == prev.block + 1) {
+                    maps[loc.disk].set(loc.block, true);
+                }
+                prev = loc;
             }
-            prev = loc;
         }
     }
     return maps;
@@ -101,15 +148,18 @@ FileSystemImage::averageSequentialRun(
             continue;
         blocks += n;
         ++runs;     // A file always starts a run.
-        PhysicalLoc prev = striping.toPhysical(f.blockAt(0));
-        for (std::uint64_t i = 1; i < n; ++i) {
-            const PhysicalLoc loc =
-                striping.toPhysical(f.blockAt(i));
-            if (!(loc.disk == prev.disk &&
-                  loc.block == prev.block + 1)) {
-                ++runs;
+        PhysicalLoc prev{};
+        std::uint64_t i = 0;
+        for (const FileExtent& e : f.extents) {
+            for (std::uint64_t off = 0; off < e.count; ++off, ++i) {
+                const PhysicalLoc loc =
+                    striping.toPhysical(e.start + off);
+                if (i > 0 && !(loc.disk == prev.disk &&
+                               loc.block == prev.block + 1)) {
+                    ++runs;
+                }
+                prev = loc;
             }
-            prev = loc;
         }
     }
     return runs == 0

@@ -39,11 +39,43 @@ struct FileLayout
     std::uint64_t sizeBytes = 0;
     std::vector<FileExtent> extents;
 
-    /** File length in blocks. */
-    std::uint64_t blocks() const;
+    /**
+     * Cumulative block count through each extent, maintained by
+     * finalize(). Lets blocks() read the total and blockAt() binary
+     * search instead of walking the extent list; both fall back to
+     * the walk when the index is absent or stale.
+     */
+    std::vector<std::uint64_t> extentEnds;
+
+    /** Total block count, cached by finalize() (0 until then). */
+    std::uint64_t blockCount = 0;
+
+    /** (Re)build extentEnds/blockCount after extents change. */
+    void finalize();
+
+    /** File length in blocks (hot: once per generated access). */
+    std::uint64_t
+    blocks() const
+    {
+        if (extentEnds.size() == extents.size())
+            return blockCount;
+        std::uint64_t n = 0;
+        for (const FileExtent& e : extents)
+            n += e.count;
+        return n;
+    }
 
     /** Logical array block holding file block `idx`. */
     ArrayBlock blockAt(std::uint64_t idx) const;
+
+    /**
+     * Length of the longest physically contiguous run of file blocks
+     * starting at `idx`, capped at `max_count`. Equivalent to probing
+     * blockAt(idx + k) == blockAt(idx) + k block by block (adjacent
+     * extents that happen to abut are merged), but O(extents spanned).
+     */
+    std::uint64_t contiguousRun(std::uint64_t idx,
+                                std::uint64_t max_count) const;
 };
 
 /** Parameters of an image build. */

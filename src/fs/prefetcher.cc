@@ -25,7 +25,7 @@ Prefetcher::plan(std::uint32_t file, std::uint64_t start,
         break;
     }
 
-    FileState& st = state_[file];
+    FileState& st = *state_.insert(file, FileState{}).first;
     if (start == 0 || start == st.nextExpected) {
         // Sequential: grow the window (doubling from one block).
         st.window = st.window == 0

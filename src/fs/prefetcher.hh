@@ -13,7 +13,8 @@
 #define DTSIM_FS_PREFETCHER_HH
 
 #include <cstdint>
-#include <unordered_map>
+
+#include "sim/flat_table.hh"
 
 namespace dtsim {
 
@@ -59,7 +60,13 @@ class Prefetcher
 
     PrefetchMode mode_;
     std::uint32_t maxBlocks_;
-    std::unordered_map<std::uint32_t, FileState> state_;
+
+    /**
+     * file -> window state, probed once per generated access.
+     * Open-addressing keeps the probe allocation-free; the table
+     * grows with the file population (workload-bounded).
+     */
+    FlatTable<FileState> state_;
 };
 
 } // namespace dtsim

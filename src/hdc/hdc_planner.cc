@@ -15,21 +15,24 @@ MissCounter::addTrace(const Trace& trace)
 void
 MissCounter::add(ArrayBlock block, std::uint64_t count)
 {
-    counts_[block] += count;
+    *counts_.insert(block, 0).first += count;
 }
 
 std::uint64_t
 MissCounter::count(ArrayBlock block) const
 {
-    auto it = counts_.find(block);
-    return it == counts_.end() ? 0 : it->second;
+    const std::uint64_t* n = counts_.find(block);
+    return n ? *n : 0;
 }
 
 std::vector<std::pair<ArrayBlock, std::uint64_t>>
 MissCounter::sorted() const
 {
-    std::vector<std::pair<ArrayBlock, std::uint64_t>> v(
-        counts_.begin(), counts_.end());
+    std::vector<std::pair<ArrayBlock, std::uint64_t>> v;
+    v.reserve(counts_.size());
+    counts_.forEach([&](std::uint64_t block, const std::uint64_t& n) {
+        v.emplace_back(block, n);
+    });
     std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
         if (a.second != b.second)
             return a.second > b.second;
@@ -60,12 +63,34 @@ selectPinnedBlocks(const Trace& trace, const StripingMap& striping,
 
     std::vector<std::uint64_t> budget(striping.disks(),
                                       per_disk_budget_blocks);
+    std::uint64_t left = per_disk_budget_blocks * striping.disks();
+
+    // Heap-select instead of fully sorting the (distinct blocks)-size
+    // count table: the pin set is bounded by the HDC budgets, which
+    // are tiny next to the trace's block population. Popping a
+    // max-heap ordered by (count desc, block asc) visits blocks in
+    // exactly sorted() order, so the picks are identical.
+    std::vector<std::pair<ArrayBlock, std::uint64_t>> v;
+    v.reserve(counter.distinctBlocks());
+    counter.forEachCount(
+        [&](ArrayBlock block, std::uint64_t n) { v.emplace_back(block, n); });
+    const auto worse = [](const auto& a, const auto& b) {
+        if (a.second != b.second)
+            return a.second < b.second;
+        return a.first > b.first;
+    };
+    std::make_heap(v.begin(), v.end(), worse);
+
     std::vector<ArrayBlock> pinned;
-    for (const auto& [block, n] : counter.sorted()) {
+    auto end = v.end();
+    while (left != 0 && end != v.begin()) {
+        std::pop_heap(v.begin(), end, worse);
+        const auto& [block, n] = *--end;
         const PhysicalLoc loc = striping.toPhysical(block);
         if (budget[loc.disk] == 0)
             continue;
         --budget[loc.disk];
+        --left;
         pinned.push_back(block);
     }
     return pinned;

@@ -14,11 +14,11 @@
 #define DTSIM_HDC_HDC_PLANNER_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "array/striping.hh"
+#include "sim/flat_table.hh"
 #include "workload/trace.hh"
 
 namespace dtsim {
@@ -48,8 +48,24 @@ class MissCounter
     /** All (block, count) pairs, most-missed first. */
     std::vector<std::pair<ArrayBlock, std::uint64_t>> sorted() const;
 
+    /** Visit every (block, count) pair in unspecified order. */
+    template <typename Fn>
+    void
+    forEachCount(Fn&& fn) const
+    {
+        counts_.forEach([&](std::uint64_t block, const std::uint64_t& n) {
+            fn(static_cast<ArrayBlock>(block), n);
+        });
+    }
+
   private:
-    std::unordered_map<ArrayBlock, std::uint64_t> counts_;
+    /**
+     * block -> miss count. Open addressing: planning scans multi-
+     * million-record traces, and the probe-per-access dominates the
+     * plan cost. sorted() orders by (count desc, block asc), so the
+     * table's iteration order never reaches the output.
+     */
+    FlatTable<std::uint64_t> counts_;
 };
 
 /**

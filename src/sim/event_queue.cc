@@ -32,7 +32,7 @@ makeEventId(std::uint32_t gen, std::uint32_t slot)
 } // namespace
 
 std::uint32_t
-EventQueue::allocSlot(Callback cb)
+EventQueue::allocSlot(Callback&& cb)
 {
     std::uint32_t index;
     if (!freeSlots_.empty()) {
@@ -103,7 +103,7 @@ EventQueue::heapPopFront()
 }
 
 EventQueue::EventId
-EventQueue::scheduleAt(Tick when, Callback cb)
+EventQueue::scheduleImpl(Tick when, Callback&& cb)
 {
     if (when < now_)
         throw std::logic_error("EventQueue: scheduling in the past");
@@ -114,9 +114,15 @@ EventQueue::scheduleAt(Tick when, Callback cb)
 }
 
 EventQueue::EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    return scheduleImpl(when, std::move(cb));
+}
+
+EventQueue::EventId
 EventQueue::scheduleAfter(Tick delay, Callback cb)
 {
-    return scheduleAt(now_ + delay, std::move(cb));
+    return scheduleImpl(now_ + delay, std::move(cb));
 }
 
 bool

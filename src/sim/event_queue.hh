@@ -12,9 +12,9 @@
 #define DTSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/small_function.hh"
 #include "sim/ticks.hh"
 
 namespace dtsim {
@@ -38,7 +38,13 @@ namespace dtsim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Scheduled callback. The inline buffer is sized for the largest
+     * hot capture (a completion lambda carrying its IoRequest), so
+     * steady-state scheduling allocates nothing; larger captures
+     * spill to the heap transparently.
+     */
+    using Callback = SmallFunction<void(), 192>;
 
     /**
      * Opaque handle identifying a scheduled event (for cancellation).
@@ -136,7 +142,9 @@ class EventQueue
         return a.seq < b.seq;
     }
 
-    std::uint32_t allocSlot(Callback cb);
+    EventId scheduleImpl(Tick when, Callback&& cb);
+
+    std::uint32_t allocSlot(Callback&& cb);
     void releaseSlot(std::uint32_t index);
 
     void heapPush(Node node);

@@ -47,9 +47,7 @@ emitFileRead(const FileLayout& f, std::uint64_t start,
     const std::uint64_t end = start + count;
     while (i < end) {
         const ArrayBlock lb = f.blockAt(i);
-        std::uint64_t run = 1;
-        while (i + run < end && f.blockAt(i + run) == lb + run)
-            ++run;
+        const std::uint64_t run = f.contiguousRun(i, end - i);
         TraceRecord rec;
         rec.start = lb;
         rec.count = static_cast<std::uint32_t>(run);
@@ -125,6 +123,7 @@ makeServerWorkload(const ServerModelParams& params,
     }
 
     std::vector<ArrayBlock> writebacks;
+    Trace job_records;  // Reused per request (cleared each read).
     std::uint32_t job = 0;
 
     const std::uint64_t total_requests =
@@ -160,9 +159,17 @@ makeServerWorkload(const ServerModelParams& params,
         const std::uint32_t this_job = job++;
 
         if (is_write) {
-            // Dirty the blocks in the buffer cache (write-back).
-            for (std::uint64_t i = start; i < start + count; ++i)
-                cache.write(f.blockAt(i), writebacks);
+            // Dirty the blocks in the buffer cache (write-back),
+            // walking physically contiguous pieces to keep the
+            // per-block address computation O(1).
+            for (std::uint64_t i = start; i < start + count;) {
+                const ArrayBlock lb = f.blockAt(i);
+                const std::uint64_t seg =
+                    f.contiguousRun(i, start + count - i);
+                for (std::uint64_t m = 0; m < seg; ++m)
+                    cache.write(lb + m, writebacks);
+                i += seg;
+            }
             if (recording)
                 emitWritebacks(writebacks, this_job, w.trace);
             writebacks.clear();
@@ -173,10 +180,22 @@ makeServerWorkload(const ServerModelParams& params,
             // paper's logs merge accesses to consecutive blocks
             // issued within 2 ms, which covers a thread's
             // back-to-back prefetch ramp-up reads.
-            Trace job_records;
+            job_records.clear();
             std::uint64_t i = start;
+            // Cursor over the file's physically contiguous pieces so
+            // the per-block address is one add instead of an extent
+            // lookup.
+            ArrayBlock seg_lb = 0;
+            std::uint64_t seg_start = 0;
+            std::uint64_t seg_end = 0;
             while (i < start + count) {
-                if (cache.readHit(f.blockAt(i))) {
+                if (i >= seg_end) {
+                    seg_lb = f.blockAt(i);
+                    seg_start = i;
+                    seg_end =
+                        i + f.contiguousRun(i, start + count - i);
+                }
+                if (cache.readHit(seg_lb + (i - seg_start))) {
                     ++i;
                     continue;
                 }
@@ -186,8 +205,14 @@ makeServerWorkload(const ServerModelParams& params,
                     std::min(1 + pf, fblocks - i);
                 if (recording)
                     emitFileRead(f, i, run, this_job, job_records);
-                for (std::uint64_t k = 0; k < run; ++k)
-                    cache.install(f.blockAt(i + k), writebacks);
+                for (std::uint64_t k = 0; k < run;) {
+                    const ArrayBlock lb = f.blockAt(i + k);
+                    const std::uint64_t seg =
+                        f.contiguousRun(i + k, run - k);
+                    for (std::uint64_t m = 0; m < seg; ++m)
+                        cache.install(lb + m, writebacks);
+                    k += seg;
+                }
                 if (recording)
                     emitWritebacks(writebacks, this_job, job_records);
                 writebacks.clear();
