@@ -5,6 +5,7 @@
 #include <iterator>
 #include <utility>
 
+#include "core/experiment.hh"
 #include "sim/logging.hh"
 
 namespace dtsim {
@@ -74,32 +75,23 @@ runSystem(SystemKind kind, std::uint64_t hdc_bytes,
 std::vector<RunResult>
 runSystems(const std::vector<SystemSpec>& specs)
 {
-    std::vector<SweepJob> jobs(specs.size());
+    std::vector<Experiment> batch;
+    batch.reserve(specs.size());
 
-    // Pin plans are deterministic, so they are computed up front on
-    // the calling thread; the storage must outlive the sweep.
-    std::vector<std::vector<ArrayBlock>> pin_store(specs.size());
-
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        const SystemSpec& s = specs[i];
-        SweepJob& job = jobs[i];
-        job.cfg = s.base;
-        job.cfg.kind = s.kind;
-        job.cfg.hdcBytesPerDisk = s.hdcBytes;
-        job.trace = s.trace;
-        job.bitmaps = s.bitmaps;
-        job.opts = s.opts;
-        if (s.hdcBytes > 0) {
-            StripingMap striping(
-                job.cfg.disks,
-                job.cfg.stripeUnitBytes / job.cfg.disk.blockSize,
-                job.cfg.disk.totalBlocks());
-            pin_store[i] = selectPinnedBlocks(
-                *s.trace, striping, hdcBlocksPerDisk(job.cfg));
-            job.pinned = &pin_store[i];
-        }
+    for (const SystemSpec& s : specs) {
+        Experiment e(s.base);
+        e.kind(s.kind)
+            .hdcBytesPerDisk(s.hdcBytes)
+            .replay(*s.trace)
+            .options(s.opts);
+        if (s.bitmaps)
+            e.bitmaps(*s.bitmaps);
+        batch.push_back(std::move(e));
     }
-    return runSweep(jobs);
+    // Pinned-policy pin plans are derived per Experiment during
+    // prepare(); runAll() executes the batch through the parallel
+    // sweep runner.
+    return Experiment::runAll(batch);
 }
 
 namespace {

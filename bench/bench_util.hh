@@ -70,17 +70,18 @@ struct SystemSpec
     const std::vector<LayoutBitmap>* bitmaps = nullptr;
 
     /**
-     * Observability options forwarded to runTrace() (off by
-     * default). Give each spec its own output paths; see
-     * core/sweep.hh for the thread-safety expectations.
+     * Observability options forwarded to the run (off by default).
+     * Give each spec its own output paths; see core/sweep.hh for the
+     * thread-safety expectations.
      */
     RunOptions opts;
 };
 
 /**
- * Run a batch of system variants through the parallel sweep runner
- * (core/sweep.hh), wiring the HDC pin plan per spec like runSystem().
- * Results come back in spec order and are bit-identical to calling
+ * Run a batch of system variants as replay Experiments
+ * (core/experiment.hh) through the parallel sweep runner, deriving
+ * the Pinned-policy HDC pin plan per spec like runSystem(). Results
+ * come back in spec order and are bit-identical to calling
  * runSystem() sequentially; thread count follows DTSIM_JOBS.
  */
 std::vector<RunResult> runSystems(const std::vector<SystemSpec>& specs);

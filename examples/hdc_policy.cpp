@@ -14,7 +14,7 @@
 
 #include <cstdio>
 
-#include "core/runner.hh"
+#include "core/experiment.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/synthetic.hh"
 
@@ -61,15 +61,21 @@ main()
             naive.push_back(fl.blockAt(b));
     }
 
-    const RunResult none = [&] {
-        SystemConfig c = cfg;
-        c.hdcBytesPerDisk = 0;
-        return runTrace(c, w.trace, &bitmaps);
-    }();
-    const RunResult planned =
-        runTrace(cfg, w.trace, &bitmaps, &top_misses);
-    const RunResult naive_run =
-        runTrace(cfg, w.trace, &bitmaps, &naive);
+    const RunResult none = Experiment(cfg)
+                               .hdcBytesPerDisk(0)
+                               .replay(w.trace)
+                               .bitmaps(bitmaps)
+                               .run();
+    const RunResult planned = Experiment(cfg)
+                                  .replay(w.trace)
+                                  .bitmaps(bitmaps)
+                                  .pins(top_misses)
+                                  .run();
+    const RunResult naive_run = Experiment(cfg)
+                                    .replay(w.trace)
+                                    .bitmaps(bitmaps)
+                                    .pins(naive)
+                                    .run();
 
     auto report = [&](const char* name, const RunResult& r) {
         std::printf("%-22s %8.3f s   hdc-hit %5.1f%%   "

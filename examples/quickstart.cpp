@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "core/runner.hh"
+#include "core/experiment.hh"
 #include "workload/synthetic.hh"
 
 using namespace dtsim;
@@ -45,12 +45,18 @@ main()
     std::vector<LayoutBitmap> bitmaps =
         w.image->buildBitmaps(striping);
 
-    // 3./4. Run the conventional controller and FOR, then compare.
-    cfg.kind = SystemKind::Segm;
-    const RunResult segm = runTrace(cfg, w.trace);
+    // 3./4. Run the conventional controller and FOR as Experiments
+    //       over the shared trace, then compare.
+    const RunResult segm = Experiment(cfg)
+                               .kind(SystemKind::Segm)
+                               .replay(w.trace)
+                               .run();
 
-    cfg.kind = SystemKind::FOR;
-    const RunResult forr = runTrace(cfg, w.trace, &bitmaps);
+    const RunResult forr = Experiment(cfg)
+                               .kind(SystemKind::FOR)
+                               .replay(w.trace)
+                               .bitmaps(bitmaps)
+                               .run();
 
     std::printf("conventional (Segm): %8.3f s  (%.1f MB/s, "
                 "hit rate %.1f%%)\n",

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "core/runner.hh"
+#include "core/experiment.hh"
 #include "workload/synthetic.hh"
 
 using namespace dtsim;
@@ -54,10 +54,15 @@ main(int argc, char** argv)
     std::vector<LayoutBitmap> bitmaps =
         w.image->buildBitmaps(striping);
 
-    cfg.kind = SystemKind::Segm;
-    const RunResult segm = runTrace(cfg, trace);
-    cfg.kind = SystemKind::FOR;
-    const RunResult forr = runTrace(cfg, trace, &bitmaps);
+    const RunResult segm = Experiment(cfg)
+                               .kind(SystemKind::Segm)
+                               .replay(trace)
+                               .run();
+    const RunResult forr = Experiment(cfg)
+                               .kind(SystemKind::FOR)
+                               .replay(trace)
+                               .bitmaps(bitmaps)
+                               .run();
 
     std::printf("Segm: %.3f s   FOR: %.3f s   (%.1f%% better)\n",
                 toSeconds(segm.ioTime), toSeconds(forr.ioTime),

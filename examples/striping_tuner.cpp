@@ -3,8 +3,8 @@
  * Capacity-planning example: find the best striping unit for a given
  * workload mix, the decision Figures 7/9/11 inform. Demonstrates
  * sweeping array parameters with the public API — the candidate
- * configurations all run concurrently through runSweep() (thread
- * count from DTSIM_JOBS).
+ * Experiments all run concurrently through Experiment::runAll()
+ * (thread count from DTSIM_JOBS).
  *
  * Usage: striping_tuner [avg_file_kb] [streams]
  */
@@ -13,7 +13,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/sweep.hh"
+#include "core/experiment.hh"
 #include "workload/synthetic.hh"
 
 using namespace dtsim;
@@ -50,7 +50,7 @@ main(int argc, char** argv)
         wp, proto.disks * proto.disk.totalBlocks());
 
     std::vector<std::vector<LayoutBitmap>> bitmaps(n_units);
-    std::vector<SweepJob> jobs;
+    std::vector<Experiment> batch;
     for (std::size_t i = 0; i < n_units; ++i) {
         SystemConfig cfg = proto;
         cfg.stripeUnitBytes = units_kb[i] * kKiB;
@@ -60,21 +60,19 @@ main(int argc, char** argv)
                              cfg.disk.totalBlocks());
         bitmaps[i] = w.image->buildBitmaps(striping);
 
-        SweepJob segm;
-        segm.cfg = cfg;
-        segm.cfg.kind = SystemKind::Segm;
-        segm.trace = &w.trace;
-        jobs.push_back(std::move(segm));
+        Experiment segm(cfg);
+        segm.kind(SystemKind::Segm).replay(w.trace);
+        batch.push_back(std::move(segm));
 
-        SweepJob forr;
-        forr.cfg = cfg;
-        forr.cfg.kind = SystemKind::FOR;
-        forr.trace = &w.trace;
-        forr.bitmaps = &bitmaps[i];
-        jobs.push_back(std::move(forr));
+        Experiment forr(cfg);
+        forr.kind(SystemKind::FOR)
+            .replay(w.trace)
+            .bitmaps(bitmaps[i]);
+        batch.push_back(std::move(forr));
     }
 
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<RunResult> results =
+        Experiment::runAll(batch);
 
     std::uint64_t best_unit = 0;
     double best_time = 1e300;

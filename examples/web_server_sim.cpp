@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/runner.hh"
+#include "core/experiment.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/server_models.hh"
 
@@ -23,11 +23,14 @@ runKind(SystemKind kind, std::uint64_t hdc_bytes,
         const std::vector<LayoutBitmap>& bitmaps,
         const std::vector<ArrayBlock>& pinned)
 {
-    SystemConfig cfg = base;
-    cfg.kind = kind;
-    cfg.hdcBytesPerDisk = hdc_bytes;
-    return runTrace(cfg, trace, &bitmaps,
-                    hdc_bytes > 0 ? &pinned : nullptr);
+    Experiment e(base);
+    e.kind(kind)
+        .hdcBytesPerDisk(hdc_bytes)
+        .replay(trace)
+        .bitmaps(bitmaps);
+    if (hdc_bytes > 0)
+        e.pins(pinned);
+    return e.run();
 }
 
 } // namespace

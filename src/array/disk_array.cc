@@ -22,6 +22,33 @@ DiskArray::DiskArray(EventQueue& eq, const ArrayConfig& cfg)
             eq_, bus_, cfg.disk, cfg.controller, d);
         ctrls_.push_back(std::move(ctl));
     }
+
+    if (cfg.fault.enabled()) {
+        faults_ = std::make_unique<FaultModel>(cfg.fault, cfg.disks);
+        rebuildEnd_.assign(cfg.disks, 0);
+        for (unsigned d = 0; d < cfg.disks; ++d)
+            ctrls_[d]->setFaults(&faults_->disk(d));
+
+        const FaultConfig& fc = cfg.fault;
+        if (fc.killAtTicks > 0) {
+            if (fc.killDisk >= cfg.disks)
+                fatal("DiskArray: fault.kill_disk %u out of range "
+                      "(%u disks)",
+                      fc.killDisk, cfg.disks);
+            eq_.scheduleAt(fc.killAtTicks, [this, d = fc.killDisk]() {
+                failDisk(d);
+            });
+            if (fc.repairAtTicks > 0) {
+                if (fc.repairAtTicks <= fc.killAtTicks)
+                    fatal("DiskArray: fault.repair_at_ticks must be "
+                          "after fault.kill_at_ticks");
+                eq_.scheduleAt(fc.repairAtTicks,
+                               [this, d = fc.killDisk]() {
+                                   repairDisk(d);
+                               });
+            }
+        }
+    }
 }
 
 void
@@ -53,6 +80,40 @@ DiskArray::pickReplica(unsigned disk) const
         : disk;
 }
 
+unsigned
+DiskArray::pickReadTarget(unsigned disk, bool& degraded)
+{
+    if (!faults_)
+        return pickReplica(disk);
+
+    if (!mirrored_) {
+        if (faults_->health(disk) != DiskHealth::Alive)
+            fatal("DiskArray: I/O on failed disk %u with no mirror "
+                  "to fall back on -- enable system.mirrored or "
+                  "drop the fault.kill_at_ticks script",
+                  disk);
+        return disk;
+    }
+
+    const unsigned mirror = partnerOf(disk);
+    // A rebuilding disk absorbs writes but cannot serve reads until
+    // the copy-back completes.
+    const bool primary_ok =
+        faults_->health(disk) == DiskHealth::Alive;
+    const bool mirror_ok =
+        faults_->health(mirror) == DiskHealth::Alive;
+    if (primary_ok && mirror_ok)
+        return pickReplica(disk);
+    if (!primary_ok && !mirror_ok)
+        fatal("DiskArray: both replicas of disk %u are offline "
+              "(mirror %u) -- the scripted faults leave no copy to "
+              "read",
+              disk, mirror);
+    degraded = true;
+    ++faults_->counters().degradedReads;
+    return primary_ok ? disk : mirror;
+}
+
 DiskArray::Pending*
 DiskArray::acquirePending()
 {
@@ -74,7 +135,7 @@ DiskArray::recyclePending(Pending* p)
 
 void
 DiskArray::submitSub(unsigned disk, const SubRange& sr,
-                     bool is_write, Pending* pending)
+                     bool is_write, Pending* pending, bool degraded)
 {
     IoRequest sub;
     sub.id = nextSubId_++;
@@ -82,6 +143,7 @@ DiskArray::submitSub(unsigned disk, const SubRange& sr,
     sub.start = sr.start;
     sub.count = sr.count;
     sub.isWrite = is_write;
+    sub.degraded = degraded;
     sub.onComplete = [this, pending](const IoRequest& done,
                                      Tick when) {
         if (done.served == ServiceClass::Media)
@@ -122,18 +184,64 @@ DiskArray::submit(ArrayRequest req)
     const bool is_write = req.isWrite;
     Pending* pending = acquirePending();
     pending->req = std::move(req);
-    // A mirrored write lands on both replicas of each sub-range.
-    pending->remaining =
-        mirrored_ && is_write ? subs.size() * 2 : subs.size();
 
     const unsigned half = striping_.disks();
-    for (const SubRange& sr : subs) {
-        if (mirrored_ && is_write) {
-            submitSub(sr.disk, sr, true, pending);
-            submitSub(sr.disk + half, sr, true, pending);
-        } else {
-            submitSub(pickReplica(sr.disk), sr, is_write, pending);
+    if (!faults_) {
+        // Fast path, byte-identical to the pre-fault-model array.
+        // A mirrored write lands on both replicas of each sub-range.
+        pending->remaining =
+            mirrored_ && is_write ? subs.size() * 2 : subs.size();
+        for (const SubRange& sr : subs) {
+            if (mirrored_ && is_write) {
+                submitSub(sr.disk, sr, true, pending);
+                submitSub(sr.disk + half, sr, true, pending);
+            } else {
+                submitSub(pickReplica(sr.disk), sr, is_write,
+                          pending);
+            }
         }
+        return;
+    }
+
+    if (mirrored_ && is_write) {
+        // Writes reach every replica that is not dead (a rebuilding
+        // disk must absorb writes to stay consistent). Count the
+        // live targets first: controller submit() never completes
+        // synchronously, but `remaining` must be final before the
+        // first sub-request is issued.
+        std::size_t targets = 0;
+        for (const SubRange& sr : subs) {
+            const bool p_dead =
+                faults_->health(sr.disk) == DiskHealth::Dead;
+            const bool m_dead =
+                faults_->health(sr.disk + half) == DiskHealth::Dead;
+            if (p_dead && m_dead)
+                fatal("DiskArray: both replicas of disk %u are "
+                      "offline; a write has nowhere to land",
+                      sr.disk);
+            targets += (p_dead || m_dead) ? 1 : 2;
+        }
+        pending->remaining = targets;
+        for (const SubRange& sr : subs) {
+            const bool p_dead =
+                faults_->health(sr.disk) == DiskHealth::Dead;
+            const bool m_dead =
+                faults_->health(sr.disk + half) == DiskHealth::Dead;
+            if (p_dead || m_dead)
+                ++faults_->counters().degradedWrites;
+            if (!p_dead)
+                submitSub(sr.disk, sr, true, pending, m_dead);
+            if (!m_dead)
+                submitSub(sr.disk + half, sr, true, pending, p_dead);
+        }
+        return;
+    }
+
+    pending->remaining = subs.size();
+    for (const SubRange& sr : subs) {
+        bool degraded = false;
+        const unsigned target = pickReadTarget(sr.disk, degraded);
+        submitSub(target, sr, is_write, pending, degraded);
     }
 }
 
@@ -167,6 +275,84 @@ DiskArray::unpinLogicalBlock(ArrayBlock lb)
              ok;
     }
     return ok;
+}
+
+void
+DiskArray::failDisk(unsigned d)
+{
+    ++faults_->counters().diskFailures;
+    if (!mirrored_)
+        fatal("DiskArray: disk %u failed at tick %llu but the array "
+              "is unmirrored; no redundancy exists to serve its "
+              "data -- enable system.mirrored (RAID-1/0) or drop "
+              "the fault.kill_at_ticks script",
+              d, static_cast<unsigned long long>(eq_.now()));
+    const unsigned partner = partnerOf(d);
+    if (faults_->health(partner) != DiskHealth::Alive)
+        fatal("DiskArray: disk %u failed while its mirror partner "
+              "%u is already offline; the mirrored pair has no "
+              "readable copy left",
+              d, partner);
+    faults_->setHealth(d, DiskHealth::Dead);
+    inform("fault: disk %u failed at tick %llu (mirror partner %u "
+           "takes over reads)",
+           d, static_cast<unsigned long long>(eq_.now()), partner);
+    if (faultHook_)
+        faultHook_("failure", d, eq_.now());
+}
+
+void
+DiskArray::repairDisk(unsigned d)
+{
+    if (faults_->health(d) != DiskHealth::Dead)
+        return;
+    ++faults_->counters().diskRepairs;
+    faults_->setHealth(d, DiskHealth::Rebuilding);
+
+    const FaultConfig& fc = faults_->config();
+    std::uint64_t span = fc.rebuildBlocks == 0
+                             ? ctrls_[d]->params().totalBlocks()
+                             : fc.rebuildBlocks;
+    span = std::min(span, ctrls_[d]->params().totalBlocks());
+    inform("fault: disk %u repaired at tick %llu; rebuilding %llu "
+           "blocks from mirror %u",
+           d, static_cast<unsigned long long>(eq_.now()),
+           static_cast<unsigned long long>(span), partnerOf(d));
+    if (faultHook_)
+        faultHook_("repair", d, eq_.now());
+    rebuildEnd_[d] = span;
+    issueRebuildChunk(d, 0);
+}
+
+void
+DiskArray::issueRebuildChunk(unsigned d, std::uint64_t start)
+{
+    const std::uint64_t end = rebuildEnd_[d];
+    if (start >= end) {
+        faults_->setHealth(d, DiskHealth::Alive);
+        inform("fault: disk %u rebuild complete at tick %llu",
+               d, static_cast<unsigned long long>(eq_.now()));
+        if (faultHook_)
+            faultHook_("rebuilt", d, eq_.now());
+        return;
+    }
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(faults_->config().rebuildChunkBlocks,
+                                1);
+    const std::uint64_t n = std::min(chunk, end - start);
+    const unsigned partner = partnerOf(d);
+    // Read the chunk from the surviving replica, then write it back
+    // to the repaired disk; both media jobs queue behind (and seek
+    // against) foreground traffic.
+    ctrls_[partner]->submitRebuild(
+        start, n, false,
+        [this, d, start, n](const IoRequest&, Tick) {
+            ctrls_[d]->submitRebuild(
+                start, n, true,
+                [this, d, start, n](const IoRequest&, Tick) {
+                    issueRebuildChunk(d, start + n);
+                });
+        });
 }
 
 std::uint64_t
@@ -249,6 +435,47 @@ DiskArray::exportStats(stats::StatGroup& parent) const
         .set(static_cast<double>(bus_.bytesTransferred()));
     bg.make<Scalar>("utilization", "bus busy fraction of elapsed time")
         .set(bus_.utilization(eq_.now()));
+
+    if (faults_) {
+        const FaultCounters& f = faults_->counters();
+        auto addU = [](stats::StatGroup& g, const char* name,
+                       const char* desc, std::uint64_t v) {
+            g.make<Scalar>(name, desc)
+                .set(static_cast<double>(v));
+        };
+        stats::StatGroup& fg = parent.makeGroup("fault");
+        addU(fg, "mediaErrors", "failed media access attempts",
+             f.mediaErrors);
+        addU(fg, "retries", "media attempts re-serviced after an error",
+             f.retries);
+        fg.make<Scalar>("retry_ms", "time spent re-servicing retries")
+            .set(toMillis(f.retryTicks));
+        addU(fg, "remapEvents",
+             "retry budgets exhausted (sector remapped)",
+             f.remapEvents);
+        addU(fg, "remappedBlocks", "blocks moved to the spare region",
+             f.remappedBlocks);
+        addU(fg, "remappedAccesses",
+             "accesses paying the permanent remap penalty",
+             f.remappedAccesses);
+        addU(fg, "stalls", "controller dispatch stalls and timeouts",
+             f.stalls);
+        fg.make<Scalar>("stall_ms", "dispatch time lost to stalls")
+            .set(toMillis(f.stallTicks));
+        addU(fg, "diskFailures", "scripted whole-disk failures",
+             f.diskFailures);
+        addU(fg, "diskRepairs", "scripted disk repairs", f.diskRepairs);
+        addU(fg, "degradedReads",
+             "reads re-routed off a dead mirror replica",
+             f.degradedReads);
+        addU(fg, "degradedWrites",
+             "writes that reached only one replica",
+             f.degradedWrites);
+        addU(fg, "rebuildJobs", "rebuild media jobs issued",
+             f.rebuildJobs);
+        addU(fg, "rebuildBlocks", "blocks copied by mirror rebuild",
+             f.rebuildBlocks);
+    }
 
     for (const auto& c : ctrls_)
         c->exportStats(parent);

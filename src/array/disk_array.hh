@@ -21,6 +21,7 @@
 #include "bus/scsi_bus.hh"
 #include "controller/disk_controller.hh"
 #include "controller/layout_bitmap.hh"
+#include "fault/fault_model.hh"
 #include "sim/event_queue.hh"
 
 namespace dtsim {
@@ -61,6 +62,14 @@ struct ArrayConfig
      * requires an even disk count.
      */
     bool mirrored = false;
+
+    /**
+     * Fault-injection knobs (defaults = everything off). When any
+     * source is enabled the array owns a FaultModel, wires per-disk
+     * fault state into every controller, and schedules the scripted
+     * kill/repair events. See docs/FAULTS.md.
+     */
+    FaultConfig fault;
 };
 
 /** A striped array of simulated disks. */
@@ -127,6 +136,37 @@ class DiskArray
     /** True when the array mirrors its stripes (RAID-10). */
     bool mirrored() const { return mirrored_; }
 
+    /** True when a fault model is attached (any fault.* enabled). */
+    bool faultsEnabled() const { return faults_ != nullptr; }
+
+    /**
+     * Array-wide fault/recovery counters; all-zero when the fault
+     * model is off.
+     */
+    FaultCounters faultCounters() const
+    {
+        return faults_ ? faults_->counters() : FaultCounters{};
+    }
+
+    /** Health of one physical disk (Alive when faults are off). */
+    DiskHealth diskHealth(unsigned d) const
+    {
+        return faults_ ? faults_->health(d) : DiskHealth::Alive;
+    }
+
+    /**
+     * Observer for scripted fault events ("failure", "repair",
+     * "rebuilt"), called with the event name, the disk, and the
+     * tick. Used by the runner to stamp snapshots into stats output;
+     * tests use it to watch the health state machine.
+     */
+    using FaultEventHook =
+        std::function<void(const char* event, unsigned disk, Tick)>;
+    void setFaultEventHook(FaultEventHook hook)
+    {
+        faultHook_ = std::move(hook);
+    }
+
   private:
     /**
      * Book-keeping for one in-flight logical request. Pool-allocated:
@@ -154,9 +194,33 @@ class DiskArray
     /** Replica choice for a mirrored read. */
     unsigned pickReplica(unsigned disk) const;
 
+    /**
+     * Replica choice honouring disk health: routes off dead
+     * replicas, setting `degraded` when the preferred copy is gone.
+     * fatal() when no live replica remains.
+     */
+    unsigned pickReadTarget(unsigned disk, bool& degraded);
+
     /** Issue one sub-request to one controller. */
     void submitSub(unsigned disk, const SubRange& sr, bool is_write,
-                   Pending* pending);
+                   Pending* pending, bool degraded = false);
+
+    /** The mirror partner of physical disk `d`. */
+    unsigned partnerOf(unsigned d) const
+    {
+        const unsigned half = striping_.disks();
+        return d < half ? d + half : d - half;
+    }
+
+    /** Scripted whole-disk failure at the configured tick. */
+    void failDisk(unsigned d);
+
+    /** Scripted repair: back online + sequential rebuild traffic. */
+    void repairDisk(unsigned d);
+
+    /** Issue the next rebuild chunk for disk `d` (ends at
+     * rebuildEnd_[d]). */
+    void issueRebuildChunk(unsigned d, std::uint64_t start);
 
     EventQueue& eq_;
     ScsiBus bus_;
@@ -175,6 +239,14 @@ class DiskArray
 
     std::uint64_t nextSubId_ = 1;
     std::uint64_t outstanding_ = 0;
+
+    /** Fault-injection state; null when every fault.* is off. */
+    std::unique_ptr<FaultModel> faults_;
+    FaultEventHook faultHook_;
+
+    /** Per-disk rebuild end block (kept out of the chunk-completion
+     * lambdas so they fit the SmallFunction buffer). */
+    std::vector<std::uint64_t> rebuildEnd_;
 };
 
 } // namespace dtsim

@@ -216,6 +216,45 @@ bindParams(ParamRegistry& reg, SimulationConfig& sim)
     reg.add("run.stats_interval_ticks", out.statsIntervalTicks,
             "also snapshot stats every this many simulated ticks "
             "(0 = final dump only)");
+
+    // fault.* -- deterministic fault injection (docs/FAULTS.md).
+    // Defaults mean "off"; runs with everything at the default are
+    // byte-identical to a build without the fault layer, and the
+    // whole group is elided from effective-config headers.
+    FaultConfig& f = sys.fault;
+    reg.add("fault.media_error_rate", f.mediaErrorRate,
+            "per-attempt probability that a media access fails [0,1]");
+    reg.add("fault.bad_blocks", f.badBlocks,
+            "scripted always-failing blocks, 'disk:block,...' "
+            "(empty = none)");
+    reg.add("fault.max_retries", f.maxRetries,
+            "failed-attempt retries before the sector is remapped");
+    reg.add("fault.remap_penalty_ms", f.remapPenaltyMs,
+            "extra seek per access touching a remapped sector");
+    reg.add("fault.timeout_rate", f.timeoutRate,
+            "per-dispatch probability of a transient controller "
+            "timeout [0,1]");
+    reg.add("fault.stall_windows", f.stallWindows,
+            "scripted controller stalls, 'startTick:durationTicks,"
+            "...' (empty = none)");
+    reg.add("fault.backoff_us", f.backoffUs,
+            "initial exponential backoff after a timeout, in us");
+    reg.add("fault.backoff_max_us", f.backoffMaxUs,
+            "upper bound on the timeout backoff, in us");
+    reg.add("fault.kill_at_ticks", f.killAtTicks,
+            "tick at which fault.kill_disk dies (0 = never)");
+    reg.add("fault.kill_disk", f.killDisk,
+            "physical disk killed at fault.kill_at_ticks");
+    reg.add("fault.repair_at_ticks", f.repairAtTicks,
+            "tick at which the killed disk is repaired and rebuilt "
+            "(0 = never)");
+    reg.add("fault.rebuild_blocks", f.rebuildBlocks,
+            "blocks copied back by the post-repair rebuild "
+            "(0 = the whole disk)");
+    reg.add("fault.rebuild_chunk_blocks", f.rebuildChunkBlocks,
+            "blocks per rebuild media job");
+    reg.add("fault.seed", f.seed,
+            "seed of the dedicated fault RNG streams");
 }
 
 namespace {
@@ -312,6 +351,45 @@ validateConfig(const SimulationConfig& sim)
     check(errs, !server || sim.scale > 0,
           "workload.scale must be > 0 for server workloads");
 
+    const FaultConfig& f = sys.fault;
+    check(errs, f.mediaErrorRate >= 0 && f.mediaErrorRate <= 1,
+          "fault.media_error_rate must be in [0,1]");
+    check(errs, f.timeoutRate >= 0 && f.timeoutRate <= 1,
+          "fault.timeout_rate must be in [0,1]");
+    check(errs, f.backoffUs >= 0, "fault.backoff_us must be >= 0");
+    check(errs, f.backoffMaxUs >= f.backoffUs,
+          "fault.backoff_max_us must be at least fault.backoff_us");
+    check(errs, f.remapPenaltyMs >= 0,
+          "fault.remap_penalty_ms must be >= 0");
+    check(errs, f.rebuildChunkBlocks >= 1,
+          "fault.rebuild_chunk_blocks must be at least 1");
+    check(errs, f.killAtTicks == 0 || f.killDisk < sys.disks,
+          "fault.kill_disk (" + u64s(f.killDisk) +
+              ") must name one of the " + u64s(sys.disks) +
+              " system.disks");
+    check(errs, f.killAtTicks == 0 || sys.mirrored,
+          "fault.kill_at_ticks needs system.mirrored: an unmirrored "
+          "array has no redundancy to survive a disk failure");
+    check(errs,
+          f.repairAtTicks == 0 || f.repairAtTicks > f.killAtTicks,
+          "fault.repair_at_ticks must be after fault.kill_at_ticks");
+    {
+        std::vector<BadBlockSpec> bb;
+        std::string err;
+        if (!fault::parseBadBlocks(f.badBlocks, bb, err)) {
+            errs.push_back("fault.bad_blocks: " + err);
+        } else {
+            for (const BadBlockSpec& s : bb)
+                check(errs, s.disk < sys.disks,
+                      "fault.bad_blocks names disk " + u64s(s.disk) +
+                          " beyond system.disks (" + u64s(sys.disks) +
+                          ")");
+        }
+        std::vector<StallWindow> sw;
+        if (!fault::parseStallWindows(f.stallWindows, sw, err))
+            errs.push_back("fault.stall_windows: " + err);
+    }
+
     if (sim.workload == WorkloadKind::Synthetic) {
         const SyntheticParams& sp = sim.synthetic;
         check(errs, sp.numFiles >= 1,
@@ -363,6 +441,11 @@ renderConfigHeader(const SimulationConfig& sim,
             if (!match)
                 continue;
         }
+        // With every fault switched off the group is pure noise (and
+        // pre-fault headers must stay byte-identical): elide it.
+        if (!sim.system.fault.enabled() &&
+            e.name.compare(0, 6, "fault.") == 0)
+            continue;
         os << "#conf " << e.name << " = " << e.get() << "\n";
     }
     os << "# end of effective config\n";

@@ -277,8 +277,22 @@ DiskController::enqueueMedia(std::unique_ptr<MediaJob> job)
 void
 DiskController::tryStartMedia()
 {
-    if (mediaBusy_ || sched_->empty())
+    if (mediaBusy_ || stallPending_ || sched_->empty())
         return;
+    if (faults_) {
+        const Tick delay = faults_->dispatchDelay(eq_.now());
+        if (delay > 0) {
+            // Transient bus/controller stall: hold every dispatch
+            // until the delay (scripted window or timeout backoff)
+            // expires, then try again.
+            stallPending_ = true;
+            eq_.scheduleAfter(delay, [this]() {
+                stallPending_ = false;
+                tryStartMedia();
+            });
+            return;
+        }
+    }
     auto job = sched_->pop(mech_.currentCylinder());
     startMedia(std::move(job));
 }
@@ -317,7 +331,7 @@ DiskController::startMedia(std::unique_ptr<MediaJob> job)
     mediaBusy_ = true;
 
     std::uint64_t ra = 0;
-    if (!job->req.isWrite)
+    if (!job->req.isWrite && !job->rebuild)
         ra = readAheadBlocks(job->mediaStart, job->mediaCount);
 
     MediaAccess acc;
@@ -327,25 +341,78 @@ DiskController::startMedia(std::unique_ptr<MediaJob> job)
     acc.isWrite = job->req.isWrite;
 
     const ServiceTiming t = mech_.service(acc, eq_.now());
+    Tick seek = t.seek + t.settle;
+    Tick rot = t.rotational;
+    Tick xfer = t.transfer;
+    Tick total = t.total();
+
+    if (faults_) {
+        FaultCounters& fc = faults_->counters();
+        const std::uint64_t span = job->mediaCount + ra;
+        if (faults_->touchesRemapped(job->mediaStart, span)) {
+            // Permanently remapped blocks live in the spare region:
+            // every access pays an extra positioning trip.
+            const Tick penalty = faults_->remapPenalty();
+            seek += penalty;
+            total += penalty;
+            ++fc.remappedAccesses;
+        }
+        unsigned attempt = 0;
+        while (faults_->attemptFails(job->mediaStart, span)) {
+            ++job->req.faults;
+            ++fc.mediaErrors;
+            if (attempt >= faults_->maxRetries()) {
+                // Retry budget exhausted: remap the failing blocks
+                // to spares. The final transfer from the spare
+                // region is charged as the remap penalty.
+                const Tick penalty = faults_->remapPenalty();
+                fc.remappedBlocks +=
+                    faults_->remapRange(job->mediaStart, span);
+                ++fc.remapEvents;
+                seek += penalty;
+                total += penalty;
+                break;
+            }
+            // Retry: the mechanism re-services the access from
+            // wherever the previous attempt left the arm, at the
+            // time the previous attempt ends.
+            ++attempt;
+            ++job->req.retries;
+            ++fc.retries;
+            const ServiceTiming rt =
+                mech_.service(acc, eq_.now() + total);
+            seek += rt.seek + rt.settle;
+            rot += rt.rotational;
+            xfer += rt.transfer;
+            total += rt.total();
+            fc.retryTicks += rt.total();
+        }
+    }
 
     ++stats_.mediaAccesses;
-    if (job->background)
+    if (job->rebuild) {
+        FaultCounters& fc = faults_->counters();
+        ++fc.rebuildJobs;
+        if (job->req.isWrite)
+            fc.rebuildBlocks += job->mediaCount;
+    } else if (job->background) {
         stats_.flushBlocks += job->mediaCount;
-    else
+    } else {
         stats_.mediaBlocks += job->mediaCount;
+    }
     stats_.readAheadBlocks += ra;
-    stats_.seekTime += t.seek + t.settle;
-    stats_.rotTime += t.rotational;
-    stats_.xferTime += t.transfer;
-    stats_.mediaBusy += t.total();
+    stats_.seekTime += seek;
+    stats_.rotTime += rot;
+    stats_.xferTime += xfer;
+    stats_.mediaBusy += total;
 
     job->req.timing.queue = eq_.now() - job->enqueuedAt;
-    job->req.timing.seek = t.seek + t.settle;
-    job->req.timing.rotation = t.rotational;
-    job->req.timing.transfer = t.transfer;
+    job->req.timing.seek = seek;
+    job->req.timing.rotation = rot;
+    job->req.timing.transfer = xfer;
 
     MediaJob* raw = job.release();
-    eq_.scheduleAfter(t.total(), [this, raw, ra]() {
+    eq_.scheduleAfter(total, [this, raw, ra]() {
         onMediaDone(std::unique_ptr<MediaJob>(raw), ra);
     });
 }
@@ -383,7 +450,7 @@ DiskController::onMediaDone(std::unique_ptr<MediaJob> job,
 {
     mediaBusy_ = false;
 
-    if (!job->req.isWrite) {
+    if (!job->req.isWrite && !job->rebuild) {
         insertIntoCache(job->mediaStart, job->mediaCount + ra_blocks,
                         job->mediaCount);
         // The demanded blocks are consumed by the host now; mark them
@@ -391,7 +458,12 @@ DiskController::onMediaDone(std::unique_ptr<MediaJob> job,
         raCache_->lookupPrefix(job->mediaStart, job->mediaCount);
     }
 
-    if (job->background) {
+    if (job->rebuild) {
+        // Rebuild traffic bypasses the host bus; hand the completion
+        // straight back to the array's rebuild chain.
+        if (job->req.onComplete)
+            job->req.onComplete(job->req, eq_.now());
+    } else if (job->background) {
         ++stats_.flushWrites;
     } else {
         respond(std::move(job->req), eq_.now());
@@ -457,6 +529,9 @@ DiskController::noteComplete(const IoRequest& req, Tick done)
         ev.transfer = req.timing.transfer;
         ev.bus = req.timing.bus;
         ev.latency = latency;
+        ev.faults = req.faults;
+        ev.retries = req.retries;
+        ev.degraded = req.degraded;
         tracer_->record(ev);
     }
 }
@@ -648,6 +723,25 @@ DiskController::flushHdc()
         i = j;
     }
     return jobs;
+}
+
+void
+DiskController::submitRebuild(BlockNum start, std::uint64_t count,
+                              bool is_write,
+                              IoRequest::Callback done)
+{
+    auto job = allocJob();
+    job->mediaStart = start;
+    job->mediaCount = count;
+    job->cylinder = geom_.blockToCylinder(start);
+    job->seq = seq_++;
+    job->background = true;
+    job->rebuild = true;
+    job->req.isWrite = is_write;
+    job->req.start = start;
+    job->req.count = count;
+    job->req.onComplete = std::move(done);
+    enqueueMedia(std::move(job));
 }
 
 } // namespace dtsim

@@ -30,6 +30,7 @@
 #include "disk/disk_params.hh"
 #include "disk/geometry.hh"
 #include "disk/mechanism.hh"
+#include "fault/fault_model.hh"
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
 #include "stats/service_stats.hh"
@@ -135,6 +136,23 @@ class DiskController
 
     /** Submit a host request; the callback fires on completion. */
     void submit(IoRequest req);
+
+    /**
+     * Attach this disk's fault-injection state (null = faults off;
+     * the default). With faults attached, media accesses consult the
+     * per-disk error model (retries, remaps) and dispatches consult
+     * the stall model. Owned by the DiskArray's FaultModel.
+     */
+    void setFaults(DiskFaults* faults) { faults_ = faults; }
+
+    /**
+     * Enqueue one mirror-rebuild media job over
+     * [start, start+count). Rebuild traffic competes with foreground
+     * I/O in the scheduler but bypasses the caches and the host bus;
+     * `done` fires when the media access completes.
+     */
+    void submitRebuild(BlockNum start, std::uint64_t count,
+                       bool is_write, IoRequest::Callback done);
 
     /**
      * pin_blk(): pin a block into the HDC region. This warm-start
@@ -277,6 +295,11 @@ class DiskController
     std::vector<std::unique_ptr<MediaJob>> jobPool_;
 
     bool mediaBusy_ = false;
+
+    /** A fault-model stall delay is pending before the next dispatch. */
+    bool stallPending_ = false;
+
+    DiskFaults* faults_ = nullptr;
     std::uint64_t seq_ = 0;
     std::uint64_t outstanding_ = 0;
     ControllerStats stats_;

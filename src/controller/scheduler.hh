@@ -51,6 +51,9 @@ struct MediaJob
     /** True for host-invisible work (e.g. HDC flush writes). */
     bool background = false;
 
+    /** True for mirror-rebuild traffic (subset of background). */
+    bool rebuild = false;
+
     /** Tick the job entered the scheduler queue. */
     Tick enqueuedAt = 0;
 };

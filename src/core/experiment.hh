@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Experiment: the one front door for running a simulation.
+ *
+ * Every run used to be assembled by hand from the same parts --
+ * applyModelStreams(), validateConfig(), buildWorkload(), FOR layout
+ * bitmaps, the HDC pin plan, RunOptions -- and the CLI, the sweep
+ * driver, the benches, and the examples each repeated the ritual with
+ * slight variations. An Experiment owns the whole setup behind a
+ * fluent interface and a single run():
+ *
+ *     RunResult r = Experiment(sim).run();
+ *
+ *     Experiment e(base);                    // bench-style replay
+ *     e.kind(SystemKind::FOR)
+ *      .hdcBytesPerDisk(2 * kMiB)
+ *      .replay(trace)
+ *      .bitmaps(bitmaps);
+ *     RunResult r = e.run();
+ *
+ * Two input modes:
+ *
+ *  - **Built** (default): prepare() applies the server model's stream
+ *    count, validates the full configuration (fatal on errors), and
+ *    builds the workload the config asks for. FOR bitmaps and the
+ *    Pinned-policy HDC pin plan are derived automatically.
+ *
+ *  - **Replay** (replay() called): the caller supplies the trace, and
+ *    usually the bitmaps, directly; no workload build and no full
+ *    config validation, matching the direct runTrace() path the
+ *    benches always used.
+ *
+ * Output destinations default from config().output and can be
+ * overridden fluently (statsTo / traceTo / statsEvery). Batches of
+ * prepared Experiments run concurrently through runAll(), which feeds
+ * the parallel sweep runner, so results are bit-identical to calling
+ * run() on each in order.
+ */
+
+#ifndef DTSIM_CORE_EXPERIMENT_HH
+#define DTSIM_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/sim_config.hh"
+#include "core/runner.hh"
+#include "core/sweep.hh"
+#include "core/sweep_driver.hh"
+
+namespace dtsim {
+
+/** One configured, runnable simulation experiment. */
+class Experiment
+{
+  public:
+    /** An experiment over the workload and system `sim` describes. */
+    explicit Experiment(SimulationConfig sim = SimulationConfig{});
+
+    /**
+     * A replay experiment over a bare SystemConfig (bench style):
+     * equivalent to wrapping `sys` in a default SimulationConfig; a
+     * trace must be supplied with replay() before running.
+     */
+    explicit Experiment(const SystemConfig& sys);
+
+    /** Move-only: prepared state may be large (the built workload). */
+    Experiment(Experiment&&) = default;
+    Experiment& operator=(Experiment&&) = default;
+    Experiment(const Experiment&) = delete;
+    Experiment& operator=(const Experiment&) = delete;
+
+    /** @name Fluent system knobs (call before prepare()/run()). */
+    ///@{
+
+    /** Set the system kind under test. */
+    Experiment& kind(SystemKind k);
+
+    /** Set the per-disk HDC budget in bytes (0 = off). */
+    Experiment& hdcBytesPerDisk(std::uint64_t bytes);
+
+    /** Enable/disable RAID-10 mirroring. */
+    Experiment& mirrored(bool on);
+
+    /** Attach a fault-injection scenario (fault/fault_config.hh). */
+    Experiment& faults(const FaultConfig& f);
+
+    ///@}
+    /** @name Inputs. */
+    ///@{
+
+    /**
+     * Replay `t` instead of building a workload; `t` must outlive the
+     * Experiment. Disables workload building and full-config
+     * validation (the caller vouches for the config, like direct
+     * runTrace() callers always did).
+     */
+    Experiment& replay(const Trace& t);
+
+    /**
+     * Use these FOR layout bitmaps instead of deriving them from the
+     * built workload's file-system image; must outlive the
+     * Experiment. Required for FOR runs in replay mode.
+     */
+    Experiment& bitmaps(const std::vector<LayoutBitmap>& bm);
+
+    /**
+     * Use this HDC warm-start pin plan instead of deriving one from
+     * the trace; must outlive the Experiment.
+     */
+    Experiment& pins(const std::vector<ArrayBlock>& p);
+
+    /**
+     * Include these workload-generation buffer-cache stats in the
+     * stats dump (sim.fs); must outlive the run.
+     */
+    Experiment& fsStats(const BufferCacheStats& stats);
+
+    ///@}
+    /** @name Outputs (default from config().output). */
+    ///@{
+
+    /** Send the stats dump/snapshots to `sink`. */
+    Experiment& statsTo(StatsSink sink);
+
+    /** Write one JSONL record per completed request to `path`. */
+    Experiment& traceTo(std::string path);
+
+    /** Snapshot stats every `interval` ticks (0 = final dump only). */
+    Experiment& statsEvery(Tick interval);
+
+    /**
+     * Use this pre-rendered effective-config header; when unset,
+     * prepare() renders one from the full configuration (built mode)
+     * or leaves synthesis to the runner (replay mode).
+     */
+    Experiment& header(std::string text);
+
+    /** Replace the run options wholesale (advanced callers). */
+    Experiment& options(const RunOptions& opts);
+
+    ///@}
+
+    /** The underlying configuration (mutable until prepare()). */
+    SimulationConfig& config() { return cfg_; }
+    const SimulationConfig& config() const { return cfg_; }
+
+    /** The effective run options; complete after prepare(). */
+    const RunOptions& runOptions() const { return opts_; }
+
+    /**
+     * Resolve the experiment: validate and build the workload (built
+     * mode), derive bitmaps/pins, and fill output options from
+     * config().output. Idempotent; run() calls it automatically.
+     * fatal()s on an invalid configuration.
+     */
+    void prepare();
+
+    /** The trace this experiment replays (prepares if needed). */
+    const Trace& trace();
+
+    /**
+     * The FOR layout bitmaps of this experiment's image and striping,
+     * built on demand even for non-FOR systems so a prepared workload
+     * can be shared with a FOR variant (prepares if needed; empty
+     * when there is no file-system image).
+     */
+    const std::vector<LayoutBitmap>& layoutBitmaps();
+
+    /** Execute the experiment (prepares if needed). */
+    RunResult run();
+
+    /**
+     * Run a batch concurrently through the parallel sweep runner
+     * (thread count 0 = DTSIM_JOBS, see core/sweep.hh). Results come
+     * back in batch order, bit-identical to running each alone.
+     */
+    static std::vector<RunResult> runAll(std::vector<Experiment>& batch,
+                                         unsigned threads = 0);
+
+  private:
+    const Trace& theTrace() const;
+    StripingMap striping() const;
+    SweepJob job();
+
+    SimulationConfig cfg_;
+    RunOptions opts_;
+
+    const Trace* extTrace_ = nullptr;
+    const std::vector<LayoutBitmap>* extBitmaps_ = nullptr;
+    const std::vector<ArrayBlock>* extPins_ = nullptr;
+
+    BuiltWorkload workload_;
+    std::vector<LayoutBitmap> ownBitmaps_;
+    std::vector<ArrayBlock> ownPins_;
+    bool prepared_ = false;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_CORE_EXPERIMENT_HH

@@ -109,6 +109,14 @@ printReport(std::ostream& os, const SystemConfig& cfg,
     os << "system: " << cfg.label() << "  disks=" << cfg.disks
        << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
        << "  streams=" << cfg.streams << "\n";
+    if (r.faults.any())
+        os << "faults: media-errors=" << r.faults.mediaErrors
+           << "  retries=" << r.faults.retries
+           << "  remaps=" << r.faults.remapEvents
+           << "  stalls=" << r.faults.stalls
+           << "  disk-failures=" << r.faults.diskFailures
+           << "  degraded-reads=" << r.faults.degradedReads
+           << "  rebuilt-blocks=" << r.faults.rebuildBlocks << "\n";
     root.print(os);
 }
 

@@ -61,25 +61,32 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
         SimulationConfig sim;
         sim.system = cfg;
         config_header =
-            renderConfigHeader(sim, {"system.", "disk."});
+            renderConfigHeader(sim, {"system.", "disk.", "fault."});
     }
 
-    std::ofstream stats_file;
-    if (!opts.statsOutPath.empty()) {
-        stats_file.open(opts.statsOutPath);
-        if (!stats_file)
-            fatal("runTrace: cannot write stats file '%s'",
-                  opts.statsOutPath.c_str());
-        stats_file << config_header;
-    }
-    if (opts.statsStream)
-        *opts.statsStream << config_header;
+    StatsSink::Writer stats_out = opts.stats.open("runTrace");
+    if (stats_out)
+        stats_out.os() << config_header;
 
     stats::StatGroup live_root("sim");
     std::unique_ptr<stats::ServiceStats> svc;
     if (opts.wantsStats()) {
         svc = std::make_unique<stats::ServiceStats>(live_root);
         array.setServiceStats(svc.get());
+    }
+
+    // Stamp scripted fault events (disk kill/repair/rebuild-done)
+    // into the stats output as annotated snapshots, so a degraded
+    // window can be located in the dump without the JSONL trace.
+    if (array.faultsEnabled() && stats_out) {
+        array.setFaultEventHook(
+            [&stats_out, &array, &svc](const char* event,
+                                       unsigned disk, Tick now) {
+                stats_out.os() << "# fault event @" << now << ": "
+                               << event << " disk " << disk << "\n";
+                writeStatsSnapshot(stats_out.os(), array, svc.get(),
+                                   now);
+            });
     }
 
     RequestTracer tracer;
@@ -108,12 +115,9 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     std::function<void()> snapshot;
     if (opts.statsIntervalTicks > 0 && opts.wantsStats()) {
         snapshot = [&]() {
-            if (stats_file.is_open())
-                writeStatsSnapshot(stats_file, array, svc.get(),
+            if (stats_out)
+                writeStatsSnapshot(stats_out.os(), array, svc.get(),
                                    eq.now());
-            if (opts.statsStream)
-                writeStatsSnapshot(*opts.statsStream, array,
-                                   svc.get(), eq.now());
             if (!eq.empty())
                 eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
         };
@@ -152,6 +156,7 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     res.agg = array.aggregateStats();
     res.ra = array.aggregateRaCounters();
     res.traceRecords = tracer.records();
+    res.faults = array.faultCounters();
 
     const std::uint64_t accesses = res.agg.reads + res.agg.writes;
     if (accesses > 0) {
@@ -184,11 +189,8 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
 
     tracer.close();
 
-    if (stats_file.is_open())
-        writeStatsDump(stats_file, cfg, res, array, svc.get(),
-                       opts.fsStats);
-    if (opts.statsStream)
-        writeStatsDump(*opts.statsStream, cfg, res, array, svc.get(),
+    if (stats_out)
+        writeStatsDump(stats_out.os(), cfg, res, array, svc.get(),
                        opts.fsStats);
 
     return res;

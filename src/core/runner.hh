@@ -3,20 +3,27 @@
  * One-call experiment runner: build a system, optionally attach FOR
  * bitmaps and an HDC pin set, replay a trace, and report the metrics
  * the paper's figures use.
+ *
+ * New code should not call runTrace() directly: the Experiment
+ * facade (core/experiment.hh) wraps the whole setup ritual -- system,
+ * workload, bitmaps, pins, outputs -- behind one fluent object and is
+ * the only run path used by the CLI, the sweep driver, the benches,
+ * and the examples.
  */
 
 #ifndef DTSIM_CORE_RUNNER_HH
 #define DTSIM_CORE_RUNNER_HH
 
 #include <cstdint>
-#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "controller/layout_bitmap.hh"
 #include "core/replay.hh"
 #include "core/system.hh"
+#include "fault/fault_model.hh"
 #include "fs/buffer_cache.hh"
+#include "stats/stats_sink.hh"
 #include "workload/trace.hh"
 
 namespace dtsim {
@@ -24,11 +31,11 @@ namespace dtsim {
 /** Observability options of one run (all off by default). */
 struct RunOptions
 {
-    /** Write a full stats dump to this file ("" = off). */
-    std::string statsOutPath;
-
-    /** Also write the dump to this stream (used by tests). */
-    std::ostream* statsStream = nullptr;
+    /**
+     * Destination of the stats dump and periodic/fault snapshots: a
+     * file, a borrowed ostream (tests), or disabled (the default).
+     */
+    StatsSink stats;
 
     /** Write one JSONL record per completed request ("" = off). */
     std::string tracePath;
@@ -63,7 +70,7 @@ struct RunOptions
     bool
     wantsStats() const
     {
-        return !statsOutPath.empty() || statsStream != nullptr;
+        return stats.enabled();
     }
 };
 
@@ -127,10 +134,18 @@ struct RunResult
 
     /** JSONL trace records written (0 when tracing was off). */
     std::uint64_t traceRecords = 0;
+
+    /** Fault/recovery counters (all zero when faults are off). */
+    FaultCounters faults;
 };
 
 /**
  * Run one experiment.
+ *
+ * @deprecated Free-function run path. Prefer the Experiment facade
+ * (core/experiment.hh), which owns workload building, bitmap/pin
+ * attachment, and output wiring; runTrace() remains as its
+ * underlying engine and for existing tests.
  *
  * @param cfg System under test.
  * @param trace Disk trace to replay.
@@ -143,7 +158,11 @@ RunResult runTrace(const SystemConfig& cfg, const Trace& trace,
                    const std::vector<LayoutBitmap>* bitmaps = nullptr,
                    const std::vector<ArrayBlock>* pinned = nullptr);
 
-/** Run one experiment with observability options. */
+/**
+ * Run one experiment with observability options.
+ *
+ * @deprecated See above: prefer Experiment (core/experiment.hh).
+ */
 RunResult runTrace(const SystemConfig& cfg, const Trace& trace,
                    const RunOptions& opts,
                    const std::vector<LayoutBitmap>* bitmaps = nullptr,

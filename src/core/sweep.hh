@@ -39,9 +39,10 @@ struct SweepJob
     /**
      * Observability options of this job. Each job writes its own
      * stats/trace files, so give distinct paths when enabling output
-     * on more than one job; a statsStream, if set, must be safe to
-     * write from the worker thread running the job (jobs never share
-     * a stream unless the caller points them at the same one).
+     * on more than one job; a stream-backed StatsSink, if set, must
+     * be safe to write from the worker thread running the job (jobs
+     * never share a stream unless the caller points them at the same
+     * one).
      */
     RunOptions opts;
 };

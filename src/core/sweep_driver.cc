@@ -1,9 +1,9 @@
 #include "core/sweep_driver.hh"
 
-#include <sstream>
 #include <utility>
 
 #include "array/striping.hh"
+#include "core/experiment.hh"
 #include "hdc/hdc_planner.hh"
 #include "sim/logging.hh"
 #include "workload/server_models.hh"
@@ -29,7 +29,9 @@ serverPreset(WorkloadKind kind, double scale)
 std::uint64_t
 arrayCapacityBlocks(const SimulationConfig& sim)
 {
-    return sim.system.disks * sim.system.disk.totalBlocks();
+    // Mirroring halves the addressable capacity: logical blocks live
+    // on the striped half, the other half replicates them.
+    return logicalDisks(sim.system) * sim.system.disk.totalBlocks();
 }
 
 } // namespace
@@ -93,7 +95,8 @@ SweepCache::bitmaps(const SimulationConfig& sim)
 {
     const SystemConfig& sys = sim.system;
     const std::string key =
-        workloadKey(sim) + "|disks=" + std::to_string(sys.disks) +
+        workloadKey(sim) +
+        "|disks=" + std::to_string(logicalDisks(sys)) +
         "|unit=" + std::to_string(sys.stripeUnitBytes);
     auto it = bitmaps_.find(key);
     if (it == bitmaps_.end()) {
@@ -101,7 +104,8 @@ SweepCache::bitmaps(const SimulationConfig& sim)
         auto built = std::make_unique<std::vector<LayoutBitmap>>();
         if (w.image) {
             StripingMap striping(
-                sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
+                logicalDisks(sys),
+                sys.stripeUnitBytes / sys.disk.blockSize,
                 sys.disk.totalBlocks());
             *built = w.image->buildBitmaps(striping);
         }
@@ -115,14 +119,16 @@ SweepCache::pins(const SimulationConfig& sim)
 {
     const SystemConfig& sys = sim.system;
     const std::string key =
-        workloadKey(sim) + "|disks=" + std::to_string(sys.disks) +
+        workloadKey(sim) +
+        "|disks=" + std::to_string(logicalDisks(sys)) +
         "|unit=" + std::to_string(sys.stripeUnitBytes) + "|hdcblk=" +
         std::to_string(hdcBlocksPerDisk(sys));
     auto it = pins_.find(key);
     if (it == pins_.end()) {
         BuiltWorkload& w = workload(sim);
         StripingMap striping(
-            sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
+            logicalDisks(sys),
+            sys.stripeUnitBytes / sys.disk.blockSize,
             sys.disk.totalBlocks());
         auto built = std::make_unique<std::vector<ArrayBlock>>(
             selectPinnedBlocks(w.trace, striping,
@@ -136,9 +142,9 @@ std::vector<RunResult>
 runSweepPoints(std::vector<SweepPoint>& points, SweepCache& cache,
                unsigned jobs)
 {
-    std::vector<SweepJob> sweep;
-    std::vector<std::size_t> job_point;
-    sweep.reserve(points.size());
+    std::vector<Experiment> batch;
+    std::vector<std::size_t> batch_point;
+    batch.reserve(points.size());
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         SweepPoint& p = points[i];
@@ -151,9 +157,8 @@ runSweepPoints(std::vector<SweepPoint>& points, SweepCache& cache,
 
         BuiltWorkload& w = cache.workload(p.cfg);
 
-        SweepJob job;
-        job.cfg = p.cfg.system;
-        job.trace = &w.trace;
+        Experiment e(p.cfg);
+        e.replay(w.trace);
         if (p.cfg.system.kind == SystemKind::FOR) {
             const std::vector<LayoutBitmap>& bm = cache.bitmaps(p.cfg);
             if (bm.empty()) {
@@ -164,28 +169,26 @@ runSweepPoints(std::vector<SweepPoint>& points, SweepCache& cache,
                      p.whyNot.c_str());
                 continue;
             }
-            job.bitmaps = &bm;
+            e.bitmaps(bm);
         }
         if (p.cfg.system.hdcBytesPerDisk > 0 &&
             p.cfg.system.hdcPolicy == HdcPolicy::Pinned) {
-            job.pinned = &cache.pins(p.cfg);
+            e.pins(cache.pins(p.cfg));
         }
-        job.opts.statsOutPath = p.cfg.output.statsOut;
-        job.opts.tracePath = p.cfg.output.trace;
-        job.opts.statsIntervalTicks = p.cfg.output.statsIntervalTicks;
         if (w.hasFsStats)
-            job.opts.fsStats = &w.fsStats;
-        job.opts.configHeader = renderConfigHeader(p.cfg);
+            e.fsStats(w.fsStats);
+        e.header(renderConfigHeader(p.cfg));
 
-        job_point.push_back(i);
-        sweep.push_back(std::move(job));
+        batch_point.push_back(i);
+        batch.push_back(std::move(e));
     }
 
-    const std::vector<RunResult> ran = runSweep(sweep, jobs);
+    const std::vector<RunResult> ran =
+        Experiment::runAll(batch, jobs);
 
     std::vector<RunResult> results(points.size());
     for (std::size_t j = 0; j < ran.size(); ++j)
-        results[job_point[j]] = ran[j];
+        results[batch_point[j]] = ran[j];
     return results;
 }
 
@@ -194,57 +197,6 @@ runSweepPoints(std::vector<SweepPoint>& points, unsigned jobs)
 {
     SweepCache cache;
     return runSweepPoints(points, cache, jobs);
-}
-
-RunResult
-PreparedRun::run() const
-{
-    RunOptions o = opts;
-    if (workload.hasFsStats)
-        o.fsStats = &workload.fsStats;
-    return runTrace(cfg.system, workload.trace, o,
-                    bitmaps.empty() ? nullptr : &bitmaps,
-                    pinned.empty() ? nullptr : &pinned);
-}
-
-PreparedRun
-prepareRun(const SimulationConfig& sim)
-{
-    PreparedRun r;
-    r.cfg = sim;
-    applyModelStreams(r.cfg);
-
-    const std::vector<std::string> errs = validateConfig(r.cfg);
-    if (!errs.empty()) {
-        std::ostringstream os;
-        for (const std::string& e : errs)
-            os << "\n  " << e;
-        fatal("invalid configuration:%s", os.str().c_str());
-    }
-
-    r.workload = buildWorkload(r.cfg);
-
-    const SystemConfig& sys = r.cfg.system;
-    if (r.workload.image) {
-        StripingMap striping(
-            sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
-            sys.disk.totalBlocks());
-        r.bitmaps = r.workload.image->buildBitmaps(striping);
-    }
-    if (sys.hdcBytesPerDisk > 0 &&
-        sys.hdcPolicy == HdcPolicy::Pinned) {
-        StripingMap striping(
-            sys.disks, sys.stripeUnitBytes / sys.disk.blockSize,
-            sys.disk.totalBlocks());
-        r.pinned = selectPinnedBlocks(r.workload.trace, striping,
-                                      hdcBlocksPerDisk(sys));
-    }
-
-    r.opts.statsOutPath = r.cfg.output.statsOut;
-    r.opts.tracePath = r.cfg.output.trace;
-    r.opts.statsIntervalTicks = r.cfg.output.statsIntervalTicks;
-    r.opts.configHeader = renderConfigHeader(r.cfg);
-    return r;
 }
 
 } // namespace dtsim

@@ -107,26 +107,6 @@ std::vector<RunResult> runSweepPoints(std::vector<SweepPoint>& points,
 std::vector<RunResult> runSweepPoints(std::vector<SweepPoint>& points,
                                       unsigned jobs = 0);
 
-/**
- * One fully prepared single run: the workload, bitmaps, pin plan, and
- * RunOptions (config header, fs stats) that `sim` implies. Used by
- * the CLI's single-run path and the config round-trip tests.
- */
-struct PreparedRun
-{
-    SimulationConfig cfg;
-    BuiltWorkload workload;
-    std::vector<LayoutBitmap> bitmaps;
-    std::vector<ArrayBlock> pinned;
-    RunOptions opts;
-
-    /** Execute the run. */
-    RunResult run() const;
-};
-
-/** Prepare `sim` for execution (validates with fatal() on errors). */
-PreparedRun prepareRun(const SimulationConfig& sim);
-
 } // namespace dtsim
 
 #endif // DTSIM_CORE_SWEEP_DRIVER_HH

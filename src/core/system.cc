@@ -62,6 +62,7 @@ SystemConfig::arrayConfig() const
     a.disk = disk;
     a.controller = controllerConfig();
     a.mirrored = mirrored;
+    a.fault = fault;
     return a;
 }
 

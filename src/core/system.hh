@@ -20,6 +20,7 @@
 
 #include "array/disk_array.hh"
 #include "controller/disk_controller.hh"
+#include "fault/fault_config.hh"
 
 namespace dtsim {
 
@@ -79,6 +80,9 @@ struct SystemConfig
 
     std::uint64_t seed = 1;
 
+    /** Fault-injection knobs (defaults = off); see docs/FAULTS.md. */
+    FaultConfig fault;
+
     /** Short human-readable description, e.g. "FOR+HDC". */
     std::string label() const;
 
@@ -88,6 +92,16 @@ struct SystemConfig
     /** The array configuration this system implies. */
     ArrayConfig arrayConfig() const;
 };
+
+/**
+ * Logical (striped) disk count: mirroring pairs the physical disks,
+ * so the striped address space covers half of them.
+ */
+inline unsigned
+logicalDisks(const SystemConfig& s)
+{
+    return s.mirrored ? s.disks / 2 : s.disks;
+}
 
 } // namespace dtsim
 

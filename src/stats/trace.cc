@@ -56,19 +56,21 @@ RequestTracer::writePreamble(const std::string& text)
 void
 RequestTracer::writeRecord(const RequestTraceEvent& ev)
 {
-    // One record is far below 256 bytes even with every field at its
+    // One record is far below 320 bytes even with every field at its
     // maximum width; snprintf into the stack keeps the hot path free
     // of allocation.
-    char buf[256];
+    char buf[320];
     const int n = std::snprintf(
         buf, sizeof(buf),
         "{\"t\":%" PRIu64 ",\"disk\":%" PRIu32 ",\"lba\":%" PRIu64
         ",\"n\":%" PRIu32 ",\"w\":%d,\"how\":\"%s\",\"q\":%" PRIu64
         ",\"seek\":%" PRIu64 ",\"rot\":%" PRIu64 ",\"xfer\":%" PRIu64
-        ",\"bus\":%" PRIu64 ",\"lat\":%" PRIu64 "}\n",
+        ",\"bus\":%" PRIu64 ",\"lat\":%" PRIu64 ",\"faults\":%" PRIu32
+        ",\"retries\":%" PRIu32 ",\"degraded\":%d}\n",
         ev.completed, ev.disk, ev.lba, ev.blocks, ev.isWrite ? 1 : 0,
         traceOutcomeName(ev.outcome), ev.queue, ev.seek, ev.rotation,
-        ev.transfer, ev.bus, ev.latency);
+        ev.transfer, ev.bus, ev.latency, ev.faults, ev.retries,
+        ev.degraded ? 1 : 0);
     if (n <= 0 || static_cast<std::size_t>(n) >= sizeof(buf))
         panic("trace record formatting overflowed");
     std::fwrite(buf, 1, static_cast<std::size_t>(n), out_);
@@ -159,6 +161,15 @@ parseTraceLine(const std::string& line, RequestTraceEvent& ev)
     ev.transfer = xfer;
     ev.bus = bus;
     ev.latency = lat;
+    // Fault fields were added later; old traces simply lack them.
+    std::uint64_t faults = 0, retries = 0, degraded = 0;
+    parseU64Field(line, "faults", faults);
+    parseU64Field(line, "retries", retries);
+    if (parseU64Field(line, "degraded", degraded) && degraded > 1)
+        return false;
+    ev.faults = static_cast<std::uint32_t>(faults);
+    ev.retries = static_cast<std::uint32_t>(retries);
+    ev.degraded = degraded != 0;
     return true;
 }
 

@@ -61,6 +61,10 @@ struct RequestTraceEvent
     Tick transfer = 0;           ///< media transfer time ("xfer")
     Tick bus = 0;                ///< SCSI bus transfer time ("bus")
     Tick latency = 0;            ///< submit-to-complete time ("lat")
+    std::uint32_t faults = 0;    ///< failed media attempts ("faults")
+    std::uint32_t retries = 0;   ///< media retries ("retries")
+    bool degraded = false;       ///< served off a dead replica's
+                                 ///< mirror ("degraded": 0/1)
 };
 
 /**

@@ -12,7 +12,7 @@
 #include <sstream>
 
 #include "config/config_file.hh"
-#include "core/sweep_driver.hh"
+#include "core/experiment.hh"
 
 using namespace dtsim;
 
@@ -34,10 +34,10 @@ smallBase()
 std::pair<std::string, RunResult>
 runToString(const SimulationConfig& sim)
 {
-    PreparedRun prep = prepareRun(sim);
+    Experiment exp(sim);
     std::ostringstream stats;
-    prep.opts.statsStream = &stats;
-    const RunResult r = prep.run();
+    exp.statsTo(StatsSink::stream(stats));
+    const RunResult r = exp.run();
     return {stats.str(), r};
 }
 
@@ -109,12 +109,15 @@ TEST(ConfigRoundTrip, HeaderMatchesEffectiveStreams)
     SimulationConfig sim;
     sim.workload = WorkloadKind::Web;
     sim.scale = 0.005;
-    PreparedRun prep = prepareRun(sim);
-    EXPECT_NE(prep.cfg.system.streams, 128u);
+    Experiment exp(sim);
+    std::ostringstream stats;
+    exp.statsTo(StatsSink::stream(stats));
+    exp.prepare();
+    EXPECT_NE(exp.config().system.streams, 128u);
     EXPECT_NE(
-        prep.opts.configHeader.find(
+        exp.runOptions().configHeader.find(
             "#conf system.streams = " +
-            config::formatValue(prep.cfg.system.streams)),
+            config::formatValue(exp.config().system.streams)),
         std::string::npos);
 }
 

@@ -154,7 +154,7 @@ TEST(RequestTrace, TracingDoesNotPerturbResults)
     RunOptions opts;
     opts.tracePath = path;
     std::ostringstream stats;
-    opts.statsStream = &stats;
+    opts.stats = StatsSink::stream(stats);
     const RunResult traced = runTrace(testConfig(), trace, opts);
     std::remove(path.c_str());
 
@@ -168,9 +168,9 @@ TEST(RequestTrace, BackToBackRunsAreIdentical)
     RunOptions opts;
     std::ostringstream s1, s2;
 
-    opts.statsStream = &s1;
+    opts.stats = StatsSink::stream(s1);
     const RunResult r1 = runTrace(testConfig(), trace, opts);
-    opts.statsStream = &s2;
+    opts.stats = StatsSink::stream(s2);
     const RunResult r2 = runTrace(testConfig(), trace, opts);
 
     // Stat registration is per-run: the second run starts from fresh
@@ -184,7 +184,7 @@ TEST(RequestTrace, StatsDumpContainsDocumentedNames)
     const Trace trace = testTrace();
     RunOptions opts;
     std::ostringstream stats;
-    opts.statsStream = &stats;
+    opts.stats = StatsSink::stream(stats);
     const RunResult r = runTrace(testConfig(), trace, opts);
     const std::string out = stats.str();
 
@@ -277,7 +277,7 @@ TEST(RequestTrace, PeriodicSnapshotsLeaveResultsIntact)
 
     RunOptions opts;
     std::ostringstream stats;
-    opts.statsStream = &stats;
+    opts.stats = StatsSink::stream(stats);
     opts.statsIntervalTicks = fromMicros(2000);
     const RunResult snap = runTrace(testConfig(), trace, opts);
 

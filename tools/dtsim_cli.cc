@@ -24,6 +24,7 @@
 
 #include "config/config_file.hh"
 #include "config/sweep_spec.hh"
+#include "core/experiment.hh"
 #include "core/report.hh"
 #include "core/sweep_driver.hh"
 #include "sim/logging.hh"
@@ -88,7 +89,9 @@ usage()
         "observability (docs/METRICS.md documents every stat name):\n"
         "  --stats-out FILE    write the full stats dump to FILE\n"
         "                      (run.stats_out); under a sweep each\n"
-        "                      point writes FILE.<coord>[.<coord>...]\n"
+        "                      point writes FILE.<key-value>[...], plus\n"
+        "                      non-default fault.* params when a fault\n"
+        "                      scenario is configured\n"
         "  --trace FILE        one JSONL record per completed request\n"
         "                      (run.trace; needs -DDTSIM_TRACE=ON);\n"
         "                      suffixed per point under a sweep\n"
@@ -233,13 +236,66 @@ paramDocsMarkdown(const config::ParamRegistry& reg)
     }
 }
 
-/** Output-file suffix of a sweep point: its coordinate values. */
+/** A value made safe for use inside a file name. */
+std::string
+fileToken(const std::string& v)
+{
+    std::string out;
+    for (char c : v) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        out += ok ? c : '-';
+    }
+    return out;
+}
+
+/**
+ * Output-file suffix of a sweep point: one ".key-value" element per
+ * coordinate (leaf key only), so files from different axes never
+ * collide even when two axes share a value. When the point carries a
+ * fault scenario, the non-default fault.* parameters are appended
+ * too, disambiguating per-scenario outputs of otherwise identical
+ * coordinates (e.g. `--system all` under a disk-kill script).
+ */
 std::string
 coordSuffix(const SweepPoint& p)
 {
     std::string s;
-    for (const auto& kv : p.coords)
-        s += "." + kv.second;
+    for (const auto& kv : p.coords) {
+        const std::size_t dot = kv.first.rfind('.');
+        s += "." +
+             kv.first.substr(dot == std::string::npos ? 0 : dot + 1) +
+             "-" + fileToken(kv.second);
+    }
+    if (p.cfg.system.fault.enabled()) {
+        // Two registries: one bound to the point (current values),
+        // one to a default config (true defaults); only deviations
+        // that are not already sweep coordinates are appended.
+        SimulationConfig cur_cfg = p.cfg;
+        SimulationConfig def_cfg;
+        config::ParamRegistry cur, def;
+        bindParams(cur, cur_cfg);
+        bindParams(def, def_cfg);
+        const std::vector<config::ParamEntry>& defs = def.entries();
+        const std::vector<config::ParamEntry>& curs = cur.entries();
+        for (std::size_t i = 0;
+             i < curs.size() && i < defs.size(); ++i) {
+            const config::ParamEntry& e = curs[i];
+            if (e.name.compare(0, 6, "fault.") != 0)
+                continue;
+            bool is_axis = false;
+            for (const auto& kv : p.coords)
+                is_axis = is_axis || kv.first == e.name;
+            if (is_axis)
+                continue;
+            const std::string v = e.get();
+            if (v == defs[i].get())
+                continue;
+            s += "." + e.name.substr(6) + "-" + fileToken(v);
+        }
+    }
     return s;
 }
 
@@ -455,18 +511,16 @@ main(int argc, char** argv)
         std::printf("loaded %zu records from %s\n", trace.size(),
                     load_trace.c_str());
 
-        RunOptions opts;
-        opts.statsOutPath = sim.output.statsOut;
-        opts.tracePath = sim.output.trace;
-        opts.statsIntervalTicks = sim.output.statsIntervalTicks;
-        const RunResult r = runTrace(sim.system, trace, opts);
+        Experiment replay(sim);
+        replay.replay(trace);
+        const RunResult r = replay.run();
         printReport(std::cout, sim.system, r);
         return 0;
     }
 
-    PreparedRun prep = prepareRun(sim);
+    Experiment exp(sim);
 
-    const TraceStats ts = computeStats(prep.workload.trace);
+    const TraceStats ts = computeStats(exp.trace());
     std::printf("trace: %llu records, %llu blocks, %.1f%% writes, "
                 "%llu jobs\n",
                 static_cast<unsigned long long>(ts.records),
@@ -475,19 +529,19 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(ts.jobs));
 
     if (!save_trace.empty()) {
-        saveTrace(prep.workload.trace, save_trace);
+        saveTrace(exp.trace(), save_trace);
         std::printf("saved to %s\n", save_trace.c_str());
         return 0;
     }
 
-    const RunResult r = prep.run();
-    printReport(std::cout, prep.cfg.system, r);
-    if (!prep.opts.statsOutPath.empty())
+    const RunResult r = exp.run();
+    printReport(std::cout, exp.config().system, r);
+    if (!exp.runOptions().stats.path().empty())
         inform("wrote stats dump to %s",
-               prep.opts.statsOutPath.c_str());
-    if (!prep.opts.tracePath.empty())
+               exp.runOptions().stats.path().c_str());
+    if (!exp.runOptions().tracePath.empty())
         inform("wrote %llu trace records to %s",
                static_cast<unsigned long long>(r.traceRecords),
-               prep.opts.tracePath.c_str());
+               exp.runOptions().tracePath.c_str());
     return 0;
 }

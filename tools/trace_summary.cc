@@ -68,12 +68,22 @@ summarize(const std::string& path)
     OutcomeTotals by_outcome[3];
     Tick queue = 0, seek = 0, rotation = 0, transfer = 0, bus = 0,
          latency = 0;
+    std::uint64_t faults = 0, retries = 0;
+    std::uint64_t faulted_reqs = 0, degraded_reqs = 0;
+    Tick degraded_latency = 0;
     std::vector<Tick> lats;
     lats.reserve(events.size());
 
     for (const RequestTraceEvent& ev : events) {
         blocks += ev.blocks;
         writes += ev.isWrite ? 1 : 0;
+        faults += ev.faults;
+        retries += ev.retries;
+        faulted_reqs += ev.faults ? 1 : 0;
+        if (ev.degraded) {
+            ++degraded_reqs;
+            degraded_latency += ev.latency;
+        }
         OutcomeTotals& o =
             by_outcome[static_cast<std::size_t>(ev.outcome)];
         ++o.requests;
@@ -128,6 +138,26 @@ summarize(const std::string& path)
                 percentileMs(lats, 50.0), percentileMs(lats, 90.0),
                 percentileMs(lats, 99.0), toMillis(lats.back()),
                 toMillis(latency) / static_cast<double>(n));
+
+    // Fault attribution: which requests paid for media errors or
+    // degraded-mode redirection (printed only when any did, so
+    // fault-free traces keep their familiar output).
+    if (faults || retries || degraded_reqs) {
+        std::printf("  faults:     media-errors=%llu retries=%llu "
+                    "faulted-reqs=%llu (%.1f%%)\n",
+                    static_cast<unsigned long long>(faults),
+                    static_cast<unsigned long long>(retries),
+                    static_cast<unsigned long long>(faulted_reqs),
+                    pct(faulted_reqs, n));
+        std::printf("  degraded:   requests=%llu (%.1f%%) mean "
+                    "lat(ms)=%.3f\n",
+                    static_cast<unsigned long long>(degraded_reqs),
+                    pct(degraded_reqs, n),
+                    degraded_reqs
+                        ? toMillis(degraded_latency) /
+                              static_cast<double>(degraded_reqs)
+                        : 0.0);
+    }
     return 0;
 }
 
