@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "core/experiment.hh"
 #include "core/sweep.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -297,6 +298,54 @@ main()
                     "set DTSIM_JOBS>1 to measure)\n");
     }
 
+    // --- 3. Single-run kernel: events/sec and sharded speedup. ---
+    // One full simulation (not the synthetic event loop above): the
+    // events/sec a real replay achieves end to end, and how much the
+    // sharded kernel (--jobs-intra) buys on a 4-disk array. The
+    // speedup needs real parallel hardware; with fewer than 4
+    // threads it is recorded as null rather than a fake ~1.0x.
+    SystemConfig run_cfg;
+    run_cfg.disks = 4;
+    run_cfg.streams = 128;
+    run_cfg.workers = 64;
+
+    SyntheticParams rp;
+    rp.fileSizeBytes = 16 * kKiB;
+    rp.numRequests = 30000;
+    rp.zipfAlpha = 0.6;
+    const SyntheticWorkload rw = makeSynthetic(
+        rp, run_cfg.disks * run_cfg.disk.totalBlocks());
+
+    auto run_once = [&](unsigned jobs_intra) {
+        Experiment e(run_cfg);
+        e.replay(rw.trace).jobsIntra(jobs_intra);
+        return e.run();
+    };
+    run_once(1);   // Warm-up.
+    const RunResult run_serial = run_once(1);
+    const double run_eps = run_serial.eventsPerSec();
+    std::printf("single-run events/sec (serial): %.3e\n", run_eps);
+
+    double sharded_speedup = -1.0;
+    unsigned jobs_intra_used = 1;
+    if (hw >= 4) {
+        const RunResult run_sharded = run_once(4);
+        if (run_sharded.ioTime != run_serial.ioTime ||
+            run_sharded.agg.reads != run_serial.agg.reads) {
+            warn("sharded run differs from serial run");
+            return 1;
+        }
+        jobs_intra_used = run_sharded.jobsIntra;
+        if (run_sharded.wallSeconds > 0.0)
+            sharded_speedup =
+                run_serial.wallSeconds / run_sharded.wallSeconds;
+        std::printf("sharded speedup (jobs-intra %u): %.2fx\n",
+                    jobs_intra_used, sharded_speedup);
+    } else {
+        std::printf("sharded speedup: skipped (%u hw threads; "
+                    "needs >= 4)\n", hw);
+    }
+
     // --- Write the tracked trajectory point. ---
     const char* out_env = std::getenv("DTSIM_BENCH_OUT");
     const std::string out =
@@ -322,11 +371,18 @@ main()
         std::fprintf(f,
                      "  \"sweep_parallel_s\": null,\n"
                      "  \"speedup\": null,\n");
+    std::fprintf(f, "  \"run_events_per_sec\": %.0f,\n", run_eps);
+    if (sharded_speedup > 0.0)
+        std::fprintf(f, "  \"sharded_speedup\": %.3f,\n",
+                     sharded_speedup);
+    else
+        std::fprintf(f, "  \"sharded_speedup\": null,\n");
     std::fprintf(f,
+                 "  \"jobs_intra\": %u,\n"
                  "  \"jobs\": %u,\n"
                  "  \"hw_threads\": %u\n"
                  "}\n",
-                 n_jobs, hw);
+                 jobs_intra_used, n_jobs, hw);
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());
     return 0;

@@ -13,7 +13,7 @@
 
 #include "analytic/models.hh"
 #include "bench/bench_util.hh"
-#include "core/runner.hh"
+#include "core/experiment.hh"
 #include "sim/rng.hh"
 #include "workload/trace.hh"
 
@@ -46,7 +46,9 @@ measuredMsPerAccess(bool writes, std::uint64_t blocks_per_access)
 
     std::vector<LayoutBitmap> bitmaps;
     bitmaps.emplace_back(cfg.disk.totalBlocks());
-    const RunResult r = runTrace(cfg, trace, &bitmaps);
+    Experiment e(cfg);
+    e.replay(trace).bitmaps(bitmaps);
+    const RunResult r = e.run();
     return toMillis(r.ioTime) / static_cast<double>(n);
 }
 

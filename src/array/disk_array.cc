@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/sharded_kernel.hh"
 
 namespace dtsim {
 
-DiskArray::DiskArray(EventQueue& eq, const ArrayConfig& cfg)
+DiskArray::DiskArray(EventQueue& eq, const ArrayConfig& cfg,
+                     ShardedKernel* kernel)
     : eq_(eq), bus_(cfg.busBytesPerSec), mirrored_(cfg.mirrored),
       striping_(cfg.mirrored ? cfg.disks / 2 : cfg.disks,
                 cfg.stripeUnitBytes / cfg.disk.blockSize,
@@ -16,10 +18,18 @@ DiskArray::DiskArray(EventQueue& eq, const ArrayConfig& cfg)
         fatal("DiskArray: stripe unit must be a block multiple");
     if (cfg.mirrored && (cfg.disks < 2 || cfg.disks % 2 != 0))
         fatal("DiskArray: mirroring needs an even disk count");
+    if (kernel && kernel->shards() != cfg.disks)
+        fatal("DiskArray: sharded kernel has %u shards for %u disks",
+              kernel->shards(), cfg.disks);
+    if (!kernel)
+        serialLink_ = std::make_unique<SerialMergeLink>(eq_);
     ctrls_.reserve(cfg.disks);
     for (unsigned d = 0; d < cfg.disks; ++d) {
         auto ctl = std::make_unique<DiskController>(
-            eq_, bus_, cfg.disk, cfg.controller, d);
+            kernel ? kernel->shardQueue(d) : eq_, bus_, cfg.disk,
+            cfg.controller, d);
+        ctl->setShardLink(kernel ? static_cast<ShardLink*>(kernel)
+                                 : serialLink_.get());
         ctrls_.push_back(std::move(ctl));
     }
 

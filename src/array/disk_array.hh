@@ -23,6 +23,7 @@
 #include "controller/layout_bitmap.hh"
 #include "fault/fault_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/serial_merge.hh"
 
 namespace dtsim {
 
@@ -72,11 +73,23 @@ struct ArrayConfig
     FaultConfig fault;
 };
 
+class ShardedKernel;
+
 /** A striped array of simulated disks. */
 class DiskArray
 {
   public:
-    DiskArray(EventQueue& eq, const ArrayConfig& cfg);
+    /**
+     * @param eq The event queue driving the array; with `kernel`
+     *        attached this is the kernel's host (coordinator) queue.
+     * @param cfg Array configuration.
+     * @param kernel Optional sharded kernel (one shard per disk):
+     *        each controller then schedules its disk-side events on
+     *        its own shard queue and exchanges submissions and
+     *        completions with the host timeline as messages.
+     */
+    DiskArray(EventQueue& eq, const ArrayConfig& cfg,
+              ShardedKernel* kernel = nullptr);
 
     DiskArray(const DiskArray&) = delete;
     DiskArray& operator=(const DiskArray&) = delete;
@@ -226,6 +239,16 @@ class DiskArray
     ScsiBus bus_;
     bool mirrored_;
     StripingMap striping_;
+
+    /**
+     * Serial cross-timeline link, owned when no sharded kernel is
+     * attached. Serial runs route same-tick cross-disk completions
+     * through it so their canonical (disk, FIFO) order matches the
+     * sharded kernel's merge -- the prerequisite for sharded runs
+     * being byte-identical to serial ones.
+     */
+    std::unique_ptr<SerialMergeLink> serialLink_;
+
     std::vector<std::unique_ptr<DiskController>> ctrls_;
 
     /** Reused split() output buffer (submit() is never re-entered). */

@@ -47,6 +47,14 @@ struct ParamEntry
     /** Parse `text` into the bound field; false + err on failure. */
     std::function<bool(const std::string& text, std::string& err)>
         set;
+
+    /**
+     * Execution-only: the parameter tunes how a run executes (e.g.
+     * run.jobs_intra) without affecting results, so dump() and the
+     * effective-config headers skip it — otherwise byte-comparing
+     * outputs across execution modes would spuriously differ.
+     */
+    bool execOnly = false;
 };
 
 class ParamRegistry
@@ -108,6 +116,12 @@ class ParamRegistry
      * unknown name (a caller bug; user input goes through set/has).
      */
     std::string get(const std::string& name) const;
+
+    /**
+     * Mark a registered parameter execution-only (excluded from
+     * dump() and config headers). panic() on an unknown name.
+     */
+    void markExecutionOnly(const std::string& name);
 
     /** All entries, in registration order (= dump order). */
     const std::vector<ParamEntry>& entries() const

@@ -216,6 +216,12 @@ bindParams(ParamRegistry& reg, SimulationConfig& sim)
     reg.add("run.stats_interval_ticks", out.statsIntervalTicks,
             "also snapshot stats every this many simulated ticks "
             "(0 = final dump only)");
+    reg.add("run.jobs_intra", out.jobsIntra,
+            "intra-run kernel worker threads sharding the simulation "
+            "per disk (1 = serial kernel; 0 = DTSIM_JOBS_INTRA or the "
+            "hardware thread count); results are tick-identical at "
+            "any setting");
+    reg.markExecutionOnly("run.jobs_intra");
 
     // fault.* -- deterministic fault injection (docs/FAULTS.md).
     // Defaults mean "off"; runs with everything at the default are
@@ -434,6 +440,8 @@ renderConfigHeader(const SimulationConfig& sim,
        << "# reload with `dtsim_cli --config <this file>` "
           "(docs/CONFIG.md)\n";
     for (const config::ParamEntry& e : reg.entries()) {
+        if (e.execOnly)
+            continue;
         if (!groups.empty()) {
             bool match = false;
             for (const std::string& g : groups)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/shard_link.hh"
 
 namespace dtsim {
 
@@ -131,7 +132,6 @@ DiskController::submit(IoRequest req)
         fatal("DiskController: FOR requires a layout bitmap");
 
     ++outstanding_;
-    req.issued = eq_.now();
 
     Tick overhead = params_.requestOverhead;
     if (hdc_)
@@ -139,6 +139,20 @@ DiskController::submit(IoRequest req)
     if (cfg_.readAhead == ReadAheadMode::FOR && !req.isWrite)
         overhead += params_.bitmapLookupOverhead;
 
+    if (link_ && !link_->quiesced()) {
+        // Sharded: submit() runs in host context. The request crosses
+        // to this disk's shard as an arrival at the same absolute
+        // tick the serial kernel would process it.
+        req.issued = link_->hostNow();
+        link_->postToShard(
+            diskId_, req.issued + overhead,
+            [this, r = std::move(req)]() mutable {
+                process(std::move(r));
+            });
+        return;
+    }
+
+    req.issued = eq_.now();
     eq_.scheduleAfter(overhead, [this, r = std::move(req)]() mutable {
         process(std::move(r));
     });
@@ -269,8 +283,19 @@ DiskController::enqueueMedia(std::unique_ptr<MediaJob> job)
 {
     job->enqueuedAt = eq_.now();
     sched_->push(std::move(job));
-    if (svc_)
-        svc_->queueDepth.sample(static_cast<double>(sched_->size()));
+    if (svc_) {
+        // The depth distribution is order-sensitive (streaming
+        // accumulator), so sharded runs route the sample through the
+        // host merge to reproduce the serial sampling order.
+        const double depth = static_cast<double>(sched_->size());
+        if (link_ && !link_->quiesced()) {
+            link_->emitToHost(diskId_, eq_.now(), [this, depth]() {
+                svc_->queueDepth.sample(depth);
+            });
+        } else {
+            svc_->queueDepth.sample(depth);
+        }
+    }
     tryStartMedia();
 }
 
@@ -476,10 +501,28 @@ DiskController::onMediaDone(std::unique_ptr<MediaJob> job,
 void
 DiskController::respond(IoRequest req, Tick ready)
 {
+    if (link_ && !link_->quiesced()) {
+        // Sharded: the bus reservation must happen in global tick
+        // order, so it crosses back to the coordinator as an
+        // emission instead of running in shard context.
+        link_->emitToHost(
+            diskId_, ready,
+            [this, r = std::move(req), ready]() mutable {
+                finishOverBus(std::move(r), ready);
+            });
+        return;
+    }
+    finishOverBus(std::move(req), ready);
+}
+
+void
+DiskController::finishOverBus(IoRequest req, Tick ready)
+{
     const Tick done =
         bus_.transfer(ready, req.count * params_.blockSize);
     req.timing.bus = done - ready;
-    eq_.scheduleAt(done, [this, r = std::move(req), done]() {
+    EventQueue& hq = link_ ? link_->hostQueue() : eq_;
+    hq.scheduleAt(done, [this, r = std::move(req), done]() {
         --outstanding_;
         noteComplete(r, done);
         if (r.onComplete)

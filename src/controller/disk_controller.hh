@@ -38,6 +38,8 @@
 
 namespace dtsim {
 
+class ShardLink;
+
 /** Read-ahead cache organization. */
 enum class CacheOrg { Segment, Block };
 
@@ -136,6 +138,22 @@ class DiskController
 
     /** Submit a host request; the callback fires on completion. */
     void submit(IoRequest req);
+
+    /**
+     * Attach the cross-timeline link (null = raw direct scheduling,
+     * for directly-constructed controllers in unit tests). Under the
+     * sharded kernel, `eq` passed at construction must be the
+     * kernel's shard queue for this disk: submissions arrive as
+     * cross-shard messages and completions are emitted back to the
+     * kernel's host timeline instead of being scheduled directly.
+     * Host-owned state (outstanding count, latency stats, histograms,
+     * tracer) is then touched only from host context, disk-owned
+     * state (mechanism, caches, scheduler) only from this shard's
+     * context. Under the serial merge link the split is the same but
+     * everything runs on one queue; either way, same-tick cross-disk
+     * emissions execute in the canonical (disk, FIFO) order.
+     */
+    void setShardLink(ShardLink* link) { link_ = link; }
 
     /**
      * Attach this disk's fault-injection state (null = faults off;
@@ -254,6 +272,15 @@ class DiskController
     /** Finish a request: bus transfer then completion callback. */
     void respond(IoRequest req, Tick ready);
 
+    /**
+     * Host-side half of respond(): reserve the bus and schedule the
+     * completion on the host timeline. In serial mode this runs
+     * inline; in sharded mode it runs as an emission consumed by the
+     * coordinator in merged tick order (the bus reservation order is
+     * the array's serialization surface).
+     */
+    void finishOverBus(IoRequest req, Tick ready);
+
     /** Fold a completed host request into stats/histograms/trace. */
     void noteComplete(const IoRequest& req, Tick done);
 
@@ -300,6 +327,7 @@ class DiskController
     bool stallPending_ = false;
 
     DiskFaults* faults_ = nullptr;
+    ShardLink* link_ = nullptr;
     std::uint64_t seq_ = 0;
     std::uint64_t outstanding_ = 0;
     ControllerStats stats_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "array/striping.hh"
+#include "core/run_impl.hh"
 #include "hdc/hdc_planner.hh"
 #include "sim/logging.hh"
 
@@ -94,6 +95,13 @@ Experiment::statsEvery(Tick interval)
 }
 
 Experiment&
+Experiment::jobsIntra(unsigned n)
+{
+    opts_.jobsIntra = n;
+    return *this;
+}
+
+Experiment&
 Experiment::header(std::string text)
 {
     opts_.configHeader = std::move(text);
@@ -160,6 +168,8 @@ Experiment::prepare()
         opts_.tracePath = cfg_.output.trace;
     if (opts_.statsIntervalTicks == 0)
         opts_.statsIntervalTicks = cfg_.output.statsIntervalTicks;
+    if (opts_.jobsIntra == 1)
+        opts_.jobsIntra = cfg_.output.jobsIntra;
 
     // Built mode knows the full configuration, so outputs get the
     // complete self-describing header; replay mode leaves synthesis

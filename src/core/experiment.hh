@@ -131,6 +131,14 @@ class Experiment
     Experiment& statsEvery(Tick interval);
 
     /**
+     * Intra-run kernel parallelism: shard the simulation per disk
+     * over `n` worker threads (1 = serial, the default; 0 =
+     * DTSIM_JOBS_INTRA/hardware threads). Composes with the
+     * sweep-level --jobs parallelism; see RunOptions::jobsIntra.
+     */
+    Experiment& jobsIntra(unsigned n);
+
+    /**
      * Use this pre-rendered effective-config header; when unset,
      * prepare() renders one from the full configuration (built mode)
      * or leaves synthesis to the runner (replay mode).

@@ -7,6 +7,22 @@ namespace dtsim {
 
 namespace {
 
+/**
+ * The single-run kernel throughput line. Wall-clock readings (and the
+ * event count, which differs slightly between the serial and sharded
+ * kernels' bookkeeping) are not simulation results, so both printers
+ * emit them as a comment-style line that byte-comparisons strip.
+ */
+void
+printRuntimeLine(std::ostream& os, const RunResult& r)
+{
+    os << "# runtime: events=" << r.eventsFired
+       << " wall_ms=" << r.wallSeconds * 1.0e3
+       << " events_per_sec=" << r.eventsPerSec()
+       << " jobs_intra=" << r.jobsIntra << " (volatile; excluded from"
+       << " determinism comparisons)\n";
+}
+
 /** Add an owned scalar to `g` and set it. */
 void
 addScalar(stats::StatGroup& g, const char* name, const char* desc,
@@ -109,6 +125,7 @@ printReport(std::ostream& os, const SystemConfig& cfg,
     os << "system: " << cfg.label() << "  disks=" << cfg.disks
        << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
        << "  streams=" << cfg.streams << "\n";
+    printRuntimeLine(os, r);
     if (r.faults.any())
         os << "faults: media-errors=" << r.faults.mediaErrors
            << "  retries=" << r.faults.retries
@@ -128,6 +145,7 @@ writeStatsDump(std::ostream& os, const SystemConfig& cfg,
 {
     os << "# dtsim stats dump -- every name is documented in"
           " docs/METRICS.md\n";
+    printRuntimeLine(os, r);
     os << "system: " << cfg.label() << "  disks=" << cfg.disks
        << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
        << "  streams=" << cfg.streams << "\n";

@@ -1,18 +1,115 @@
-#include "core/runner.hh"
+#include "core/run_impl.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <thread>
 
 #include "config/sim_config.hh"
 #include "core/report.hh"
 #include "hdc/victim_cache.hh"
 #include "sim/logging.hh"
+#include "sim/sharded_kernel.hh"
 #include "stats/service_stats.hh"
 #include "stats/trace.hh"
 
 namespace dtsim {
+
+namespace {
+
+/**
+ * Resolve the requested intra-run worker count: 0 = DTSIM_JOBS_INTRA
+ * or, failing that, the hardware thread count (mirroring how the
+ * sweep pool resolves --jobs 0).
+ */
+unsigned
+resolveIntraJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char* env = std::getenv("DTSIM_JOBS_INTRA"))
+        requested = static_cast<unsigned>(std::atoi(env));
+    if (requested == 0)
+        requested = std::thread::hardware_concurrency();
+    return requested == 0 ? 1 : requested;
+}
+
+/**
+ * Why this configuration cannot run on the sharded kernel, or null
+ * when it can. The sharded kernel requires all cross-disk coupling
+ * to flow through the submit/complete messages; features that mutate
+ * shard state from host context mid-run (or vice versa) fall back to
+ * the serial kernel so results stay deterministic.
+ */
+const char*
+shardedUnsupported(const SystemConfig& cfg, const RunOptions& opts)
+{
+    if (cfg.disks < 2)
+        return "a single-disk array has nothing to shard";
+    if (cfg.fault.enabled())
+        return "fault injection mutates cross-shard state mid-run";
+    if (cfg.hdcBytesPerDisk > 0 &&
+        cfg.hdcPolicy == HdcPolicy::VictimCache)
+        return "the victim-cache HDC policy issues mid-run pin/unpin "
+               "commands from host context";
+    if (cfg.mirrored)
+        return "mirrored fan-out orders replica pairs by send order, "
+               "which the per-shard merge cannot reproduce";
+    if (opts.statsIntervalTicks > 0 && opts.wantsStats())
+        return "periodic snapshots read disk-side counters mid-run";
+    return nullptr;
+}
+
+/**
+ * The conservative lookahead: a lower bound on the host-to-disk
+ * submit overhead, i.e. on how far ahead of the host any shard may
+ * safely run. The FOR bitmap lookup only adds to this, so it is
+ * excluded from the bound.
+ */
+Tick
+shardLookahead(const SystemConfig& cfg)
+{
+    Tick l = cfg.disk.requestOverhead;
+    if (cfg.hdcBytesPerDisk > 0)
+        l += cfg.disk.hdcLookupOverhead;
+    return l;
+}
+
+/**
+ * Validate the lookahead against the minimum media service floor
+ * (see DESIGN.md, "Parallel simulation"): when the floor covers the
+ * submit overhead, no media completion can tie with a later
+ * submission's arrival, and the sharded merge order provably equals
+ * the serial order. The check builds a scratch mechanism because the
+ * controllers' own mechanisms are shard-private.
+ */
+void
+checkLookaheadFloor(const SystemConfig& cfg, Tick lookahead)
+{
+    const DiskGeometry geom(cfg.disk);
+    DiskMechanism mech(cfg.disk, geom);
+    std::unique_ptr<ZonedGeometry> zoned;
+    if (cfg.disk.recordingZones > 0) {
+        zoned = std::make_unique<ZonedGeometry>(
+            ZonedGeometry::makeDefault(cfg.disk,
+                                       cfg.disk.recordingZones));
+        mech.setZonedGeometry(zoned.get());
+    }
+    const Tick floor = mech.minServiceFloor(geom.sectorsPerBlock());
+    if (floor < lookahead) {
+        warn("sharded kernel: minimum media service floor (%s) is "
+             "below the submit overhead (%s); same-tick collisions "
+             "between a media completion and a later arrival cannot "
+             "be ruled out for this parameter set",
+             formatTicks(floor).c_str(),
+             formatTicks(lookahead).c_str());
+    }
+}
+
+} // namespace
 
 std::uint64_t
 hdcBlocksPerDisk(const SystemConfig& cfg)
@@ -22,20 +119,32 @@ hdcBlocksPerDisk(const SystemConfig& cfg)
 
 RunResult
 runTrace(const SystemConfig& cfg, const Trace& trace,
-         const std::vector<LayoutBitmap>* bitmaps,
-         const std::vector<ArrayBlock>* pinned)
-{
-    return runTrace(cfg, trace, RunOptions{}, bitmaps, pinned);
-}
-
-RunResult
-runTrace(const SystemConfig& cfg, const Trace& trace,
          const RunOptions& opts,
          const std::vector<LayoutBitmap>* bitmaps,
          const std::vector<ArrayBlock>* pinned)
 {
+    unsigned jobs_intra = resolveIntraJobs(opts.jobsIntra);
+    bool sharded = false;
+    if (jobs_intra > 1) {
+        if (const char* why = shardedUnsupported(cfg, opts)) {
+            warn("jobs-intra %u requested but %s; running the serial "
+                 "kernel",
+                 jobs_intra, why);
+            jobs_intra = 1;
+        } else {
+            sharded = true;
+        }
+    }
+
     EventQueue eq;
-    DiskArray array(eq, cfg.arrayConfig());
+    std::unique_ptr<ShardedKernel> kernel;
+    if (sharded) {
+        const Tick lookahead = shardLookahead(cfg);
+        checkLookaheadFloor(cfg, lookahead);
+        kernel = std::make_unique<ShardedKernel>(
+            eq, cfg.disks, jobs_intra, lookahead);
+    }
+    DiskArray array(eq, cfg.arrayConfig(), kernel.get());
 
     if (cfg.kind == SystemKind::FOR) {
         if (!bitmaps)
@@ -124,23 +233,53 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
         eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
     }
 
-    const Tick io_time = engine.run();
-    const Tick post_drain = eq.now();
+    const auto wall_begin = std::chrono::steady_clock::now();
+
+    Tick io_time;
+    Tick post_drain;
+    if (sharded) {
+        if (engine.start())
+            kernel->run();
+        io_time = engine.finish();
+        post_drain = io_time;
+    } else {
+        io_time = engine.run();
+        post_drain = eq.now();
+    }
 
     Tick flush_time = 0;
     if (cfg.hdcBytesPerDisk > 0 && cfg.flushHdcAtEnd) {
-        array.flushAllHdc();
-        eq.run();
-        // A trailing snapshot event may have advanced the clock past
-        // the last completion before the flush began; charge the
-        // flush window from there so it is not inflated (with
-        // snapshots off, base == io_time and the result is identical
-        // to a run without observability).
-        const Tick base = opts.statsIntervalTicks > 0
-                              ? std::max(io_time, post_drain)
-                              : io_time;
-        flush_time = eq.now() > base ? eq.now() - base : 0;
+        if (sharded) {
+            // Align every shard clock to the end of I/O first so the
+            // flush jobs see the same start time (and thus platter
+            // angle) as under the serial kernel; the flush itself has
+            // no cross-disk interaction, so a plain drain suffices.
+            kernel->alignNow(io_time);
+            array.flushAllHdc();
+            kernel->drainSerial();
+            const Tick end = kernel->maxNow();
+            flush_time = end > io_time ? end - io_time : 0;
+        } else {
+            array.flushAllHdc();
+            eq.run();
+            // A trailing snapshot event may have advanced the clock
+            // past the last completion before the flush began; charge
+            // the flush window from there so it is not inflated (with
+            // snapshots off, base == io_time and the result is
+            // identical to a run without observability).
+            const Tick base = opts.statsIntervalTicks > 0
+                                  ? std::max(io_time, post_drain)
+                                  : io_time;
+            flush_time = eq.now() > base ? eq.now() - base : 0;
+        }
     }
+    if (sharded) {
+        // Bring every timeline to the common end so any clock-derived
+        // metric (utilization denominators) matches the serial run.
+        kernel->alignNow(std::max(kernel->maxNow(), io_time));
+    }
+
+    const auto wall_end = std::chrono::steady_clock::now();
 
     RunResult res;
     res.ioTime = io_time;
@@ -149,6 +288,10 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     res.requests = engine.metrics().requests;
     res.blocks = engine.metrics().blocks;
     res.meanLatencyMs = engine.metrics().meanLatencyMs();
+    res.eventsFired = sharded ? kernel->totalFired() : eq.fired();
+    res.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_begin).count();
+    res.jobsIntra = sharded ? kernel->workers() : 1;
     if (victim) {
         res.victimPins = victim->pins();
         res.victimUnpins = victim->unpins();

@@ -1,12 +1,10 @@
 /**
  * @file
- * One-call experiment runner: build a system, optionally attach FOR
- * bitmaps and an HDC pin set, replay a trace, and report the metrics
- * the paper's figures use.
+ * Run-level option and result types shared by every run path.
  *
- * New code should not call runTrace() directly: the Experiment
- * facade (core/experiment.hh) wraps the whole setup ritual -- system,
- * workload, bitmaps, pins, outputs -- behind one fluent object and is
+ * The run engine itself is internal (core/run_impl.hh); all user code
+ * goes through the Experiment facade (core/experiment.hh), which owns
+ * workload building, bitmap/pin attachment, and output wiring, and is
  * the only run path used by the CLI, the sweep driver, the benches,
  * and the examples.
  */
@@ -65,6 +63,20 @@ struct RunOptions
      * trace generation, not during replay).
      */
     const BufferCacheStats* fsStats = nullptr;
+
+    /**
+     * Intra-run parallelism: shard the event kernel per disk and run
+     * the shards on this many worker threads under a conservative
+     * lookahead window (see DESIGN.md, "Parallel simulation").
+     * 1 = the serial kernel (the default); 0 = DTSIM_JOBS_INTRA or,
+     * failing that, the hardware thread count. Composes with the
+     * sweep-level --jobs parallelism. Results are tick-identical to
+     * the serial kernel; configurations the sharded kernel cannot
+     * split deterministically (faults, victim-cache HDC, periodic
+     * snapshots, mirroring) fall back to serial with a warning.
+     * Execution-only: never recorded in dumps or config headers.
+     */
+    unsigned jobsIntra = 1;
 
     /** True when any stats output destination is configured. */
     bool
@@ -137,36 +149,35 @@ struct RunResult
 
     /** Fault/recovery counters (all zero when faults are off). */
     FaultCounters faults;
+
+    /**
+     * Events fired across every timeline of the run. A measure of
+     * kernel work, not a simulation result: the serial and sharded
+     * kernels may book the same simulated work as slightly different
+     * event counts, so it never enters deterministic output.
+     */
+    std::uint64_t eventsFired = 0;
+
+    /**
+     * Host wall-clock seconds of the simulation phase (replay +
+     * flush), excluding system construction and workload building.
+     * Volatile by nature; never part of deterministic output.
+     */
+    double wallSeconds = 0.0;
+
+    /** Kernel worker threads the run actually used (1 = serial). */
+    unsigned jobsIntra = 1;
+
+    /** eventsFired / wallSeconds (0 when wall time was unmeasurably
+     * small). */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(eventsFired) / wallSeconds
+            : 0.0;
+    }
 };
-
-/**
- * Run one experiment.
- *
- * @deprecated Free-function run path. Prefer the Experiment facade
- * (core/experiment.hh), which owns workload building, bitmap/pin
- * attachment, and output wiring; runTrace() remains as its
- * underlying engine and for existing tests.
- *
- * @param cfg System under test.
- * @param trace Disk trace to replay.
- * @param bitmaps Per-disk FOR bitmaps; required when cfg.kind is FOR,
- *        ignored otherwise. Must match cfg's disk count and striping.
- * @param pinned Logical blocks to pin before replay (HDC warm start);
- *        ignored when the HDC budget is zero.
- */
-RunResult runTrace(const SystemConfig& cfg, const Trace& trace,
-                   const std::vector<LayoutBitmap>* bitmaps = nullptr,
-                   const std::vector<ArrayBlock>* pinned = nullptr);
-
-/**
- * Run one experiment with observability options.
- *
- * @deprecated See above: prefer Experiment (core/experiment.hh).
- */
-RunResult runTrace(const SystemConfig& cfg, const Trace& trace,
-                   const RunOptions& opts,
-                   const std::vector<LayoutBitmap>* bitmaps = nullptr,
-                   const std::vector<ArrayBlock>* pinned = nullptr);
 
 /**
  * Convenience: the per-disk HDC capacity in blocks implied by a

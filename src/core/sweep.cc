@@ -1,5 +1,7 @@
 #include "core/sweep.hh"
 
+#include "core/run_impl.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>

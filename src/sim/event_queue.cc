@@ -4,6 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
+#ifdef DTSIM_DEBUG_PAST_SCHEDULE
+#include <cstdio>
+#include <execinfo.h>
+#endif
+
 namespace dtsim {
 
 namespace {
@@ -105,8 +110,18 @@ EventQueue::heapPopFront()
 EventQueue::EventId
 EventQueue::scheduleImpl(Tick when, Callback&& cb)
 {
-    if (when < now_)
+    if (when < now_) {
+#ifdef DTSIM_DEBUG_PAST_SCHEDULE
+        std::fprintf(stderr,
+                     "PAST SCHEDULE: when=%llu now=%llu queue=%p\n",
+                     (unsigned long long)when, (unsigned long long)now_,
+                     (void*)this);
+        void* frames[32];
+        const int n = backtrace(frames, 32);
+        backtrace_symbols_fd(frames, n, 2);
+#endif
         throw std::logic_error("EventQueue: scheduling in the past");
+    }
     const std::uint32_t slot = allocSlot(std::move(cb));
     heapPush(Node{when, nextSeq_++, slot});
     ++size_;
@@ -186,6 +201,32 @@ EventQueue::run(std::uint64_t max_events)
     while (n < max_events && step())
         ++n;
     return n;
+}
+
+std::uint64_t
+EventQueue::runBefore(Tick bound)
+{
+    std::uint64_t n = 0;
+    while (skipCancelled() && heap_.front().when < bound) {
+        fireNext();
+        ++n;
+    }
+    return n;
+}
+
+Tick
+EventQueue::nextTime()
+{
+    return skipCancelled() ? heap_.front().when : kTickMax;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    if (t <= now_)
+        return;
+    assert(!skipCancelled() || heap_.front().when >= t);
+    now_ = t;
 }
 
 std::uint64_t

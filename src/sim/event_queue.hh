@@ -107,6 +107,30 @@ class EventQueue
     /** Fire exactly one event, if any. @return true if one fired. */
     bool step();
 
+    /**
+     * Fire events strictly before `bound` (events at exactly `bound`
+     * stay pending). Unlike runUntil(), time is left at the last
+     * fired event, not advanced to the bound — the sharded kernel
+     * uses the per-queue position to compute the next safe window.
+     *
+     * @return Number of events fired.
+     */
+    std::uint64_t runBefore(Tick bound);
+
+    /**
+     * Tick of the next live event, or kTickMax when the queue is
+     * empty. Lazily drops tombstoned (cancelled) front entries, hence
+     * non-const.
+     */
+    Tick nextTime();
+
+    /**
+     * Advance the clock to `t` without firing anything (no-op when
+     * `t` <= now()). Only valid when no pending event is earlier
+     * than `t`; used to align shard clocks at synchronization points.
+     */
+    void advanceTo(Tick t);
+
     /** Total events fired over the queue's lifetime. */
     std::uint64_t fired() const { return fired_; }
 

@@ -1,0 +1,39 @@
+#include "sim/serial_merge.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dtsim {
+
+void
+SerialMergeLink::emitToHost(unsigned s, Tick when, HostFn fn)
+{
+    // Emissions always carry the emitting event's own tick; one
+    // flusher per tick drains them all (nothing can join the current
+    // tick after the flusher, see the file comment).
+    assert(when == q_.now());
+    (void)when;
+    if (!flushScheduled_) {
+        flushScheduled_ = true;
+        q_.scheduleAt(q_.now(), [this]() { flush(); });
+    }
+    pending_.push_back(Pending{s, std::move(fn)});
+}
+
+void
+SerialMergeLink::flush()
+{
+    flushScheduled_ = false;
+    batch_.clear();
+    batch_.swap(pending_);
+    // Canonical cross-disk order at a tick: lowest disk first, FIFO
+    // within a disk -- exactly ShardedKernel::runHostMerged().
+    std::stable_sort(batch_.begin(), batch_.end(),
+                     [](const Pending& a, const Pending& b) {
+                         return a.disk < b.disk;
+                     });
+    for (Pending& p : batch_)
+        p.fn();
+}
+
+} // namespace dtsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Serial implementation of the ShardLink messaging interface.
+ *
+ * On a single EventQueue, host-side actions produced by disk-side
+ * events (bus reservations, order-sensitive stat samples) would
+ * naturally execute in global event insertion order. That order is an
+ * accident of scheduling history and cannot be reproduced by the
+ * sharded kernel, whose per-disk timelines never observe it. The
+ * serial link therefore defers every emission to the end of its tick
+ * and replays the batch in the kernel's canonical (disk, FIFO) order,
+ * making serial runs byte-identical to sharded ones.
+ *
+ * The deferral is safe because every modeled delay is positive: no
+ * event can be scheduled at the current tick during the current tick,
+ * so a flusher event scheduled at `now` is guaranteed to run after
+ * every other event of that tick, and emissions themselves only
+ * schedule strictly-future work (a bus grant always has a positive
+ * transfer time). Deferring an emission past same-tick disk-side work
+ * is equally safe: emissions touch only host-owned state (the bus,
+ * host distributions), disk-side events only disk-owned state.
+ */
+
+#ifndef DTSIM_SIM_SERIAL_MERGE_HH
+#define DTSIM_SIM_SERIAL_MERGE_HH
+
+#include <vector>
+
+#include "sim/shard_link.hh"
+
+namespace dtsim {
+
+class SerialMergeLink final : public ShardLink
+{
+  public:
+    explicit SerialMergeLink(EventQueue& q) : q_(q) {}
+
+    Tick hostNow() const override { return q_.now(); }
+
+    EventQueue& hostQueue() override { return q_; }
+
+    bool quiesced() const override { return false; }
+
+    /** Arrivals schedule directly: one queue, same (when, seq). */
+    void
+    postToShard(unsigned, Tick when, EventQueue::Callback fn) override
+    {
+        q_.scheduleAt(when, std::move(fn));
+    }
+
+    void emitToHost(unsigned s, Tick when, HostFn fn) override;
+
+  private:
+    void flush();
+
+    struct Pending
+    {
+        unsigned disk;
+        HostFn fn;
+    };
+
+    EventQueue& q_;
+
+    /** Emissions of the current tick, in emission order. */
+    std::vector<Pending> pending_;
+
+    /** Reused flush scratch (swap keeps pending_ reentrant). */
+    std::vector<Pending> batch_;
+
+    bool flushScheduled_ = false;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_SIM_SERIAL_MERGE_HH

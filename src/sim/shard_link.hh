@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cross-timeline messaging interface between host-side code (the
+ * array fan-out, replay engine, SCSI bus) and per-disk timelines.
+ *
+ * Two implementations exist:
+ *  - ShardedKernel (sim/sharded_kernel.hh): true parallel execution,
+ *    one EventQueue per disk advancing under a conservative lookahead
+ *    window; messages are double-buffered at round boundaries.
+ *  - SerialMergeLink (sim/serial_merge.hh): everything on one
+ *    EventQueue, but host-side actions produced by disk-side events
+ *    at the same tick are re-ordered into the kernel's canonical
+ *    (tick, disk, FIFO) merge order.
+ *
+ * Both orders are identical by construction: same-tick cross-disk
+ * actions execute lowest-disk-first, preserving each disk's FIFO
+ * order, with plain host events winning ties. That shared discipline
+ * is what makes sharded runs byte-identical to serial ones -- the
+ * serial kernel does not get to use its (thread-unreproducible)
+ * global event insertion order as a tie-break across disks.
+ */
+
+#ifndef DTSIM_SIM_SHARD_LINK_HH
+#define DTSIM_SIM_SHARD_LINK_HH
+
+#include "sim/event_queue.hh"
+#include "sim/small_function.hh"
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+class ShardLink
+{
+  public:
+    /** Host-side action produced by a shard (sized like Callback). */
+    using HostFn = SmallFunction<void(), 192>;
+
+    virtual ~ShardLink() = default;
+
+    /** Current host time (valid from host context). */
+    virtual Tick hostNow() const = 0;
+
+    /** The coordinator timeline completions are scheduled on. */
+    virtual EventQueue& hostQueue() = 0;
+
+    /**
+     * True once the run has drained and cross-timeline messaging has
+     * collapsed to direct execution (see ShardedKernel::quiesced()).
+     * Always false for the serial link.
+     */
+    virtual bool quiesced() const = 0;
+
+    /**
+     * Post an arrival onto disk timeline `s` at absolute tick `when`.
+     * Host context only; `when` must respect the lookahead contract.
+     */
+    virtual void postToShard(unsigned s, Tick when,
+                             EventQueue::Callback fn) = 0;
+
+    /**
+     * Emit a host-side action from disk timeline `s` at tick `when`
+     * (the timeline's current time). Executed merged with host events
+     * in canonical (tick, disk, FIFO) order, host events first.
+     */
+    virtual void emitToHost(unsigned s, Tick when, HostFn fn) = 0;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_SIM_SHARD_LINK_HH

@@ -1,0 +1,308 @@
+#include "sim/sharded_kernel.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dtsim {
+
+namespace {
+
+constexpr Tick
+satAdd(Tick a, Tick b)
+{
+    return a > kTickMax - b ? kTickMax : a + b;
+}
+
+} // namespace
+
+ShardedKernel::ShardedKernel(EventQueue& host, unsigned shards,
+                             unsigned jobs, Tick lookahead)
+    : host_(host), lookahead_(lookahead)
+{
+    shards_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+
+    workerCount_ = std::max(1u, std::min(jobs, shards));
+    threads_.reserve(workerCount_);
+    for (unsigned w = 0; w < workerCount_; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ShardedKernel::~ShardedKernel()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    cvGo_.notify_all();
+    for (std::thread& t : threads_)
+        t.join();
+}
+
+void
+ShardedKernel::postToShard(unsigned s, Tick when,
+                           EventQueue::Callback fn)
+{
+    Shard& sh = *shards_[s];
+    if (quiesced_) {
+        sh.q.scheduleAt(when, std::move(fn));
+        return;
+    }
+    sh.inbox.push_back(Arrival{when, nextArrivalSeq_++, std::move(fn)});
+}
+
+void
+ShardedKernel::emitToHost(unsigned s, Tick when, HostFn fn)
+{
+    if (quiesced_) {
+        fn();
+        return;
+    }
+    shards_[s]->outbox.push_back(Emission{when, std::move(fn)});
+}
+
+void
+ShardedKernel::stageMessages()
+{
+    for (std::unique_ptr<Shard>& p : shards_) {
+        Shard& sh = *p;
+        if (!sh.inbox.empty()) {
+            // Appended in post order (seq ascending); a stable sort
+            // by tick reproduces the serial schedule order of
+            // same-tick arrivals.
+            std::stable_sort(sh.inbox.begin(), sh.inbox.end(),
+                             [](const Arrival& a, const Arrival& b) {
+                                 return a.when < b.when;
+                             });
+            for (Arrival& a : sh.inbox)
+                sh.q.scheduleAt(a.when, std::move(a.fn));
+            sh.inbox.clear();
+        }
+        if (sh.stagedHead > 0) {
+            sh.staged.erase(sh.staged.begin(),
+                            sh.staged.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    sh.stagedHead));
+            sh.stagedHead = 0;
+        }
+        if (!sh.outbox.empty()) {
+            for (Emission& e : sh.outbox)
+                sh.staged.push_back(std::move(e));
+            sh.outbox.clear();
+        }
+    }
+}
+
+bool
+ShardedKernel::allDrained() const
+{
+    if (!host_.empty())
+        return false;
+    for (const std::unique_ptr<Shard>& p : shards_) {
+        const Shard& sh = *p;
+        if (!sh.q.empty() || !sh.inbox.empty() || !sh.outbox.empty() ||
+            sh.stagedHead < sh.staged.size())
+            return false;
+    }
+    return true;
+}
+
+unsigned
+ShardedKernel::earliestStaged(Tick& when) const
+{
+    unsigned best = static_cast<unsigned>(shards_.size());
+    Tick best_when = kTickMax;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        const Shard& sh = *shards_[s];
+        if (sh.stagedHead < sh.staged.size() &&
+            sh.staged[sh.stagedHead].when < best_when) {
+            best_when = sh.staged[sh.stagedHead].when;
+            best = s;
+        }
+    }
+    when = best_when;
+    return best;
+}
+
+void
+ShardedKernel::runHostMerged(Tick bound)
+{
+    // Host events and staged shard emissions, merged in (tick, host
+    // first, then shard index) order. Consuming either side may
+    // schedule new host events, so both horizons are re-read each
+    // iteration.
+    for (;;) {
+        const Tick he = host_.nextTime();
+        Tick ew = kTickMax;
+        const unsigned es = earliestStaged(ew);
+        if (std::min(he, ew) >= bound)
+            return;
+        if (he <= ew) {
+            host_.step();
+            continue;
+        }
+        Shard& sh = *shards_[es];
+        Emission e = std::move(sh.staged[sh.stagedHead++]);
+        e.fn();
+    }
+}
+
+void
+ShardedKernel::forcedStep()
+{
+    // Zero-lookahead safety net: execute the single globally minimal
+    // item on the coordinator thread (workers are parked), with the
+    // same tie priority the merged loop uses.
+    const Tick he = host_.nextTime();
+    Tick ew = kTickMax;
+    const unsigned es = earliestStaged(ew);
+    Tick emin = kTickMax;
+    unsigned smin = 0;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        const Tick t = shards_[s]->q.nextTime();
+        if (t < emin) {
+            emin = t;
+            smin = s;
+        }
+    }
+    if (he <= ew && he <= emin) {
+        host_.step();
+    } else if (ew <= emin) {
+        Shard& sh = *shards_[es];
+        Emission e = std::move(sh.staged[sh.stagedHead++]);
+        e.fn();
+    } else {
+        shards_[smin]->q.step();
+    }
+}
+
+void
+ShardedKernel::run()
+{
+    assert(!quiesced_);
+    for (;;) {
+        stageMessages();
+        if (allDrained())
+            break;
+
+        const Tick host_next = host_.nextTime();
+        Tick staged_next = kTickMax;
+        earliestStaged(staged_next);
+        Tick emin = kTickMax;
+        for (std::unique_ptr<Shard>& p : shards_)
+            emin = std::min(emin, p->q.nextTime());
+
+        // The lookahead origin is the earliest pending work anywhere:
+        // host events, staged emissions, or shard events. A shard
+        // event at emin can emit host work at emin, which in turn can
+        // post new arrivals -- so even with an idle host, no shard may
+        // run past emin + lookahead. The origin is nondecreasing
+        // across rounds (new work is always scheduled at or after its
+        // scheduler's own tick), so every future arrival lands at or
+        // beyond the current shard bound. The host in turn may not
+        // run past the earliest shard event, whose emissions it must
+        // merge in tick order.
+        const Tick h = std::min(host_next, staged_next);
+        const Tick shard_bound =
+            satAdd(std::min(h, emin), lookahead_);
+        const Tick host_bound = std::min(emin, shard_bound);
+
+        const bool shard_work = emin < shard_bound;
+        const bool host_work = h < host_bound;
+        if (!shard_work && !host_work) {
+            forcedStep();
+            continue;
+        }
+
+        ++rounds_;
+        if (shard_work) {
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                roundBound_ = shard_bound;
+                running_ = workers();
+                ++round_;
+            }
+            cvGo_.notify_all();
+        }
+        if (host_work)
+            runHostMerged(host_bound);
+        if (shard_work) {
+            std::unique_lock<std::mutex> lock(m_);
+            cvDone_.wait(lock, [this] { return running_ == 0; });
+        }
+    }
+    quiesced_ = true;
+}
+
+void
+ShardedKernel::drainSerial()
+{
+    quiesced_ = true;
+    for (;;) {
+        bool fired = false;
+        for (std::unique_ptr<Shard>& p : shards_) {
+            if (p->q.run() > 0)
+                fired = true;
+        }
+        if (host_.run() > 0)
+            fired = true;
+        if (!fired)
+            return;
+    }
+}
+
+Tick
+ShardedKernel::maxNow() const
+{
+    Tick t = host_.now();
+    for (const std::unique_ptr<Shard>& p : shards_)
+        t = std::max(t, p->q.now());
+    return t;
+}
+
+void
+ShardedKernel::alignNow(Tick t)
+{
+    host_.advanceTo(t);
+    for (std::unique_ptr<Shard>& p : shards_)
+        p->q.advanceTo(t);
+}
+
+std::uint64_t
+ShardedKernel::totalFired() const
+{
+    std::uint64_t n = host_.fired();
+    for (const std::unique_ptr<Shard>& p : shards_)
+        n += p->q.fired();
+    return n;
+}
+
+void
+ShardedKernel::workerLoop(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    const unsigned stride = workerCount_;
+    for (;;) {
+        Tick bound;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cvGo_.wait(lock,
+                       [&] { return stop_ || round_ != seen; });
+            if (stop_)
+                return;
+            seen = round_;
+            bound = roundBound_;
+        }
+        for (unsigned s = worker; s < shards_.size(); s += stride)
+            shards_[s]->q.runBefore(bound);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            --running_;
+            if (running_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+} // namespace dtsim

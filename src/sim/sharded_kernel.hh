@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Conservative parallel event kernel: per-shard EventQueues advancing
+ * under a lookahead window, plus a coordinator timeline.
+ *
+ * The kernel implements synchronous-window conservative parallel DES
+ * (CMB/YAWNS style). One "host" queue runs on the coordinator thread;
+ * N shard queues are partitioned round-robin over worker threads.
+ * Each round the coordinator computes a safe bound for every timeline
+ * from the queues' next-event times and the configured lookahead,
+ * releases the workers to run their shards up to the shard bound,
+ * concurrently runs the host below the (tighter) host bound, and then
+ * barriers before the next round.
+ *
+ * Cross-timeline traffic is message-passing only:
+ *  - host -> shard "arrivals" (postToShard) buffer in a per-shard
+ *    inbox and are delivered into the shard queue at the next round
+ *    boundary. Safety: an arrival scheduled from a host event at tick
+ *    t lands at >= t + lookahead, beyond any shard's current bound.
+ *  - shard -> host "emissions" (emitToHost) buffer in a per-shard
+ *    outbox, are staged at the round boundary, and are consumed by
+ *    the coordinator merged with the host queue in deterministic
+ *    (tick, shard, FIFO) order, host events winning ties. An emission
+ *    produced during round R carries a tick at or beyond that round's
+ *    host bound, so double-buffering it into round R+1 never reorders
+ *    it with host work.
+ *
+ * Determinism: the merge order depends only on ticks, shard indices
+ * and per-shard FIFO order — never on thread timing or worker count —
+ * so a given configuration produces identical results for any number
+ * of workers, and (when the modeled overheads respect the lookahead
+ * contract, see DESIGN.md "Parallel simulation") identical results to
+ * the serial kernel.
+ */
+
+#ifndef DTSIM_SIM_SHARDED_KERNEL_HH
+#define DTSIM_SIM_SHARDED_KERNEL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/shard_link.hh"
+#include "sim/small_function.hh"
+#include "sim/ticks.hh"
+
+namespace dtsim {
+
+class ShardedKernel final : public ShardLink
+{
+  public:
+    /** Host-side action produced by a shard (sized like Callback). */
+    using HostFn = ShardLink::HostFn;
+
+    /**
+     * @param host The coordinator timeline (completions, bus, array).
+     * @param shards Number of worker timelines (one per disk).
+     * @param jobs Worker thread count; clamped to [1, shards].
+     * @param lookahead Minimum cross-timeline latency in ticks: any
+     *        host event at tick t may only post arrivals at
+     *        >= t + lookahead. Zero degrades to near-serial stepping.
+     */
+    ShardedKernel(EventQueue& host, unsigned shards, unsigned jobs,
+                  Tick lookahead);
+    ~ShardedKernel();
+
+    ShardedKernel(const ShardedKernel&) = delete;
+    ShardedKernel& operator=(const ShardedKernel&) = delete;
+
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    unsigned workers() const { return workerCount_; }
+
+    Tick lookahead() const { return lookahead_; }
+
+    /** Timeline shard `s` schedules its private events on. */
+    EventQueue& shardQueue(unsigned s) { return shards_[s]->q; }
+
+    /** The coordinator timeline. */
+    EventQueue& hostQueue() override { return host_; }
+
+    /** Current host time (valid from host context). */
+    Tick hostNow() const override { return host_.now(); }
+
+    /**
+     * Post an arrival onto shard `s` at absolute tick `when`. Host
+     * context only. `when` must be >= hostNow() + lookahead(); the
+     * arrival is delivered at the next round boundary. Deliveries
+     * into one shard preserve (when, post-order).
+     */
+    void postToShard(unsigned s, Tick when,
+                     EventQueue::Callback fn) override;
+
+    /**
+     * Emit a host-side action from shard `s` at tick `when` (the
+     * shard's current time). Only from shard `s`'s own execution
+     * context during run(), or from the host thread once quiesced —
+     * then it executes immediately.
+     */
+    void emitToHost(unsigned s, Tick when, HostFn fn) override;
+
+    /**
+     * True once run() has drained everything: cross-timeline buffers
+     * are gone and shard components may touch host state directly.
+     */
+    bool quiesced() const override { return quiesced_; }
+
+    /**
+     * Run the windowed rounds until the host queue, every shard
+     * queue, and all message buffers drain. Call at most once.
+     */
+    void run();
+
+    /**
+     * Drain shard queues and the host queue on the calling thread
+     * (no windowing). Used for the post-run flush phase, where shard
+     * timelines no longer interact.
+     */
+    void drainSerial();
+
+    /** Largest current time across the host and all shards. */
+    Tick maxNow() const;
+
+    /** Advance every timeline's clock to `t` (see EventQueue). */
+    void alignNow(Tick t);
+
+    /** Events fired across the host and all shard queues. */
+    std::uint64_t totalFired() const;
+
+    /** Synchronization rounds executed by run(). */
+    std::uint64_t rounds() const { return rounds_; }
+
+  private:
+    struct Emission
+    {
+        Tick when;
+        HostFn fn;
+    };
+
+    struct Arrival
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventQueue::Callback fn;
+    };
+
+    struct Shard
+    {
+        EventQueue q;
+
+        /** Host-posted arrivals; drained at round boundaries. */
+        std::vector<Arrival> inbox;
+
+        /** Worker-produced emissions for the *next* round. */
+        std::vector<Emission> outbox;
+
+        /** Coordinator-consumed emissions (FIFO via stagedHead). */
+        std::vector<Emission> staged;
+        std::size_t stagedHead = 0;
+    };
+
+    /** Deliver inboxes into shard queues, stage outboxes. */
+    void stageMessages();
+
+    bool allDrained() const;
+
+    /** Earliest staged emission; returns shard index or shards(). */
+    unsigned earliestStaged(Tick& when) const;
+
+    /** Run host events and staged emissions below `bound`, merged. */
+    void runHostMerged(Tick bound);
+
+    /** Execute the single globally-minimal item (lookahead 0 path). */
+    void forcedStep();
+
+    void workerLoop(unsigned worker);
+
+    EventQueue& host_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    Tick lookahead_;
+    unsigned workerCount_ = 1;
+    std::uint64_t nextArrivalSeq_ = 0;
+    std::uint64_t rounds_ = 0;
+    bool quiesced_ = false;
+
+    // Round barrier. The coordinator publishes a new round_ with a
+    // per-round shard bound; workers run their shards up to it and
+    // report back via running_. The mutex hand-off orders all inbox/
+    // outbox/queue access between threads.
+    std::vector<std::thread> threads_;
+    std::mutex m_;
+    std::condition_variable cvGo_;
+    std::condition_variable cvDone_;
+    std::uint64_t round_ = 0;
+    Tick roundBound_ = 0;
+    unsigned running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_SIM_SHARDED_KERNEL_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Test helper: normalize stats-dump text for byte comparisons.
+ *
+ * Stats dumps open with a "# runtime:" line (wall clock, events/sec)
+ * that is volatile by design -- documented in docs/METRICS.md as
+ * excluded from determinism comparisons. Tests asserting that two
+ * dumps are byte-identical strip it first.
+ */
+
+#ifndef DTSIM_TESTS_STATS_TEXT_HH
+#define DTSIM_TESTS_STATS_TEXT_HH
+
+#include <sstream>
+#include <string>
+
+namespace dtsim {
+namespace test {
+
+inline std::string
+stripRuntime(const std::string& dump)
+{
+    std::istringstream in(dump);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.compare(0, 10, "# runtime:") == 0)
+            continue;
+        out << line << "\n";
+    }
+    return out.str();
+}
+
+} // namespace test
+} // namespace dtsim
+
+#endif // DTSIM_TESTS_STATS_TEXT_HH

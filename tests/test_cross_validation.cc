@@ -8,6 +8,7 @@
 
 #include "analytic/models.hh"
 #include "core/runner.hh"
+#include "experiment_replay.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/synthetic.hh"
 
@@ -42,7 +43,7 @@ TEST(CrossValidation, ForHitRateMatchesModelSmallFiles)
     std::vector<LayoutBitmap> bitmaps =
         w.image->buildBitmaps(striping);
 
-    const RunResult r = runTrace(cfg, w.trace, &bitmaps);
+    const RunResult r = test::replayTrace(cfg, w.trace, &bitmaps);
 
     // Model: hit rate (f-1)/f = 0.75 while streams fit the pool.
     const double model = analytic::forHitRate(
@@ -76,9 +77,11 @@ TEST(CrossValidation, UtilizationReductionMatchesSimulation)
         w.image->buildBitmaps(striping);
 
     cfg.kind = SystemKind::Segm;
-    const RunResult segm = runTrace(cfg, w.trace, &bitmaps);
+    const RunResult segm =
+        test::replayTrace(cfg, w.trace, &bitmaps);
     cfg.kind = SystemKind::FOR;
-    const RunResult forr = runTrace(cfg, w.trace, &bitmaps);
+    const RunResult forr =
+        test::replayTrace(cfg, w.trace, &bitmaps);
 
     const double measured =
         1.0 - static_cast<double>(forr.agg.mediaBusy) /
@@ -124,7 +127,8 @@ TEST(CrossValidation, HdcHitRateTracksZipfMass)
     const std::vector<ArrayBlock> pinned = selectPinnedBlocks(
         w.trace, striping, hdcBlocksPerDisk(cfg));
 
-    const RunResult r = runTrace(cfg, w.trace, &bitmaps, &pinned);
+    const RunResult r =
+        test::replayTrace(cfg, w.trace, &bitmaps, &pinned);
 
     const std::uint64_t h = hdcBlocksPerDisk(cfg) * cfg.disks;
     const double model =

@@ -14,6 +14,7 @@
 
 #include "config/sweep_spec.hh"
 #include "core/sweep_driver.hh"
+#include "experiment_replay.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/server_models.hh"
 
@@ -46,7 +47,7 @@ TEST(Fig07Equivalence, SweepFileMatchesHandWiredRuns)
 
     // The hand-wired equivalent, exactly as the pre-config figure
     // benches did it: build the workload once, bitmaps per unit, a
-    // pin plan per (unit, budget), then one runTrace per cell.
+    // pin plan per (unit, budget), then one replay per cell.
     const ServerModelParams params = webServerParams(kScale);
     SystemConfig base;
     base.streams = params.streams;
@@ -75,8 +76,8 @@ TEST(Fig07Equivalence, SweepFileMatchesHandWiredRuns)
                         w.trace, striping, hdcBlocksPerDisk(cfg));
                     pp = &pinned;
                 }
-                const RunResult ref =
-                    runTrace(cfg, w.trace, &bitmaps, pp);
+                const RunResult ref = dtsim::test::replayTrace(
+                    cfg, w.trace, &bitmaps, pp);
 
                 ASSERT_TRUE(points[i].feasible)
                     << i << ": " << points[i].whyNot;

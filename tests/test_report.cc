@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/report.hh"
+#include "experiment_replay.hh"
 #include "workload/synthetic.hh"
 
 namespace dtsim {
@@ -22,7 +23,7 @@ TEST(Report, ContainsKeyLines)
     sp.numRequests = 100;
     const SyntheticWorkload w =
         makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
-    const RunResult r = runTrace(cfg, w.trace);
+    const RunResult r = test::replayTrace(cfg, w.trace);
 
     std::ostringstream os;
     printReport(os, cfg, r);
@@ -46,7 +47,7 @@ TEST(Report, ValuesMatchResult)
     sp.numRequests = 50;
     const SyntheticWorkload w =
         makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
-    const RunResult r = runTrace(cfg, w.trace);
+    const RunResult r = test::replayTrace(cfg, w.trace);
 
     std::ostringstream os;
     printReport(os, cfg, r);

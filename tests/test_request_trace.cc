@@ -9,6 +9,8 @@
 
 #include "core/report.hh"
 #include "core/sweep.hh"
+#include "experiment_replay.hh"
+#include "stats_text.hh"
 #include "stats/trace.hh"
 #include "workload/synthetic.hh"
 
@@ -72,7 +74,8 @@ TEST(RequestTrace, RecordsMatchSimulatedRequests)
     const Trace trace = testTrace();
     RunOptions opts;
     opts.tracePath = path;
-    const RunResult r = runTrace(testConfig(), trace, opts);
+    const RunResult r =
+        test::replayTrace(testConfig(), trace, nullptr, nullptr, opts);
 
     std::vector<RequestTraceEvent> events;
     ASSERT_TRUE(readTraceFile(path, events));
@@ -129,9 +132,9 @@ TEST(RequestTrace, DisabledTracerChangesNothingAndWritesNothing)
     std::remove(path.c_str());
     const Trace trace = testTrace();
 
-    const RunResult plain = runTrace(testConfig(), trace);
-    const RunResult with_opts =
-        runTrace(testConfig(), trace, RunOptions{});
+    const RunResult plain = test::replayTrace(testConfig(), trace);
+    const RunResult with_opts = test::replayTrace(
+        testConfig(), trace, nullptr, nullptr, RunOptions{});
     expectSameResults(plain, with_opts);
     EXPECT_EQ(with_opts.traceRecords, 0u);
 
@@ -150,12 +153,13 @@ TEST(RequestTrace, TracingDoesNotPerturbResults)
     const std::string path = "/tmp/dtsim_reqtrace_perturb.jsonl";
     const Trace trace = testTrace();
 
-    const RunResult plain = runTrace(testConfig(), trace);
+    const RunResult plain = test::replayTrace(testConfig(), trace);
     RunOptions opts;
     opts.tracePath = path;
     std::ostringstream stats;
     opts.stats = StatsSink::stream(stats);
-    const RunResult traced = runTrace(testConfig(), trace, opts);
+    const RunResult traced =
+        test::replayTrace(testConfig(), trace, nullptr, nullptr, opts);
     std::remove(path.c_str());
 
     expectSameResults(plain, traced);
@@ -169,14 +173,18 @@ TEST(RequestTrace, BackToBackRunsAreIdentical)
     std::ostringstream s1, s2;
 
     opts.stats = StatsSink::stream(s1);
-    const RunResult r1 = runTrace(testConfig(), trace, opts);
+    const RunResult r1 =
+        test::replayTrace(testConfig(), trace, nullptr, nullptr, opts);
     opts.stats = StatsSink::stream(s2);
-    const RunResult r2 = runTrace(testConfig(), trace, opts);
+    const RunResult r2 =
+        test::replayTrace(testConfig(), trace, nullptr, nullptr, opts);
 
     // Stat registration is per-run: the second run starts from fresh
-    // groups and produces a byte-identical dump.
+    // groups and produces a byte-identical dump (modulo the volatile
+    // wall-clock line).
     expectSameResults(r1, r2);
-    EXPECT_EQ(s1.str(), s2.str());
+    EXPECT_EQ(test::stripRuntime(s1.str()),
+              test::stripRuntime(s2.str()));
 }
 
 TEST(RequestTrace, StatsDumpContainsDocumentedNames)
@@ -185,7 +193,8 @@ TEST(RequestTrace, StatsDumpContainsDocumentedNames)
     RunOptions opts;
     std::ostringstream stats;
     opts.stats = StatsSink::stream(stats);
-    const RunResult r = runTrace(testConfig(), trace, opts);
+    const RunResult r =
+        test::replayTrace(testConfig(), trace, nullptr, nullptr, opts);
     const std::string out = stats.str();
 
     // Spot-check one name from each section of docs/METRICS.md.
@@ -273,13 +282,14 @@ TEST(RequestTrace, PeriodicSnapshotsLeaveResultsIntact)
 {
     const Trace trace = testTrace(150);
 
-    const RunResult plain = runTrace(testConfig(), trace);
+    const RunResult plain = test::replayTrace(testConfig(), trace);
 
     RunOptions opts;
     std::ostringstream stats;
     opts.stats = StatsSink::stream(stats);
     opts.statsIntervalTicks = fromMicros(2000);
-    const RunResult snap = runTrace(testConfig(), trace, opts);
+    const RunResult snap =
+        test::replayTrace(testConfig(), trace, nullptr, nullptr, opts);
 
     expectSameResults(plain, snap);
 

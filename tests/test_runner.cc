@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/runner.hh"
+#include "experiment_replay.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/synthetic.hh"
 
@@ -59,7 +60,7 @@ struct Workbench
                                         hdcBlocksPerDisk(cfg));
             pp = &pinned;
         }
-        return runTrace(cfg, w.trace, &bitmaps, pp);
+        return test::replayTrace(cfg, w.trace, &bitmaps, pp);
     }
 };
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Sharded-vs-serial determinism: running the same configuration on
+ * the sharded kernel (--jobs-intra 2 and 4) must produce stats dumps
+ * and request traces byte-identical to the serial kernel, across the
+ * figure-7..12 system shapes and the ablation-style variants.
+ *
+ * The only line allowed to differ is the volatile "# runtime:" header
+ * (wall clock and events/sec), which is stripped before comparing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "stats/trace.hh"
+#include "stats_text.hh"
+#include "workload/server_models.hh"
+
+namespace dtsim {
+namespace {
+
+using test::stripRuntime;
+
+constexpr double kScale = 0.01;
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/**
+ * One figure/ablation-shaped configuration under test. The workload
+ * is built once (trace, FOR bitmaps); each kernel setting replays it
+ * through the facade, so every run sees identical inputs.
+ */
+struct DeterminismCase
+{
+    SimulationConfig sim;
+    Experiment built;
+
+    explicit DeterminismCase(SimulationConfig s)
+        : sim(std::move(s)), built(sim)
+    {
+    }
+
+    /** Stats dump (runtime-stripped) at a given worker setting. */
+    std::string
+    dump(unsigned jobs_intra, const std::string& trace_path = "")
+    {
+        std::ostringstream os;
+        Experiment e(sim.system);
+        e.replay(built.trace());
+        if (sim.system.kind == SystemKind::FOR)
+            e.bitmaps(built.layoutBitmaps());
+        e.statsTo(StatsSink::stream(os)).jobsIntra(jobs_intra);
+        if (!trace_path.empty())
+            e.traceTo(trace_path);
+        e.run();
+        return stripRuntime(os.str());
+    }
+
+    void
+    expectShardedMatchesSerial()
+    {
+        const std::string serial = dump(1);
+        ASSERT_NE(serial.find("sim.io_time_ms"), std::string::npos);
+        EXPECT_EQ(dump(2), serial) << "jobs-intra 2 diverged";
+        EXPECT_EQ(dump(4), serial) << "jobs-intra 4 diverged";
+    }
+};
+
+SimulationConfig
+webConfig(SystemKind kind, std::uint64_t unit_bytes,
+          std::uint64_t hdc_bytes)
+{
+    SimulationConfig sim;
+    sim.workload = WorkloadKind::Web;
+    sim.scale = kScale;
+    sim.system.kind = kind;
+    sim.system.disks = 4;
+    sim.system.stripeUnitBytes = unit_bytes;
+    sim.system.hdcBytesPerDisk = hdc_bytes;
+    return sim;
+}
+
+TEST(ShardedDeterminism, Fig07WebStriping)
+{
+    DeterminismCase c(webConfig(SystemKind::Segm, 16 * kKiB, 0));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, Fig08WebForHdc)
+{
+    DeterminismCase c(
+        webConfig(SystemKind::FOR, 64 * kKiB, 2 * kMiB));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, Fig10ProxyHdc)
+{
+    SimulationConfig sim;
+    sim.workload = WorkloadKind::Proxy;
+    sim.scale = kScale;
+    sim.system.kind = SystemKind::Segm;
+    sim.system.disks = 4;
+    sim.system.hdcBytesPerDisk = 2 * kMiB;
+    DeterminismCase c(std::move(sim));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, Fig11FileServerStriping)
+{
+    SimulationConfig sim;
+    sim.workload = WorkloadKind::File;
+    sim.scale = kScale;
+    sim.system.kind = SystemKind::FOR;
+    sim.system.disks = 4;
+    sim.system.stripeUnitBytes = 16 * kKiB;
+    DeterminismCase c(std::move(sim));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, AblationSchedulerAndZones)
+{
+    SimulationConfig sim;
+    sim.workload = WorkloadKind::Synthetic;
+    sim.system.kind = SystemKind::Block;
+    sim.system.disks = 4;
+    sim.system.scheduler = SchedulerKind::SSTF;
+    sim.system.disk.recordingZones = 8;
+    sim.synthetic.numFiles = 20000;
+    sim.synthetic.fileSizeBytes = 16 * kKiB;
+    sim.synthetic.numRequests = 400;
+    sim.synthetic.writeProb = 0.2;
+    sim.synthetic.zipfAlpha = 0.6;
+    DeterminismCase c(std::move(sim));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, AblationNoReadAheadClook)
+{
+    SimulationConfig sim;
+    sim.workload = WorkloadKind::Synthetic;
+    sim.system.kind = SystemKind::NoRA;
+    sim.system.disks = 4;
+    sim.system.scheduler = SchedulerKind::CLOOK;
+    sim.system.stripeUnitBytes = 32 * kKiB;
+    sim.synthetic.numFiles = 20000;
+    sim.synthetic.fileSizeBytes = 8 * kKiB;
+    sim.synthetic.numRequests = 400;
+    sim.synthetic.zipfAlpha = 0.4;
+    DeterminismCase c(std::move(sim));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, RequestTracesAreByteIdentical)
+{
+    if (!RequestTracer::compiledIn())
+        GTEST_SKIP() << "tracing compiled out (DTSIM_TRACE=OFF)";
+
+    DeterminismCase c(webConfig(SystemKind::Segm, 64 * kKiB, 0));
+    const std::string p1 = "/tmp/dtsim_sharded_det_1.jsonl";
+    const std::string p4 = "/tmp/dtsim_sharded_det_4.jsonl";
+    const std::string serial = c.dump(1, p1);
+    const std::string sharded = c.dump(4, p4);
+    EXPECT_EQ(sharded, serial);
+
+    const std::string t1 = slurp(p1);
+    EXPECT_FALSE(t1.empty());
+    EXPECT_EQ(slurp(p4), t1);
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+}
+
+TEST(ShardedDeterminism, MirroredFallsBackToSerial)
+{
+    // Mirrored fan-out is one of the documented serial fallbacks: a
+    // jobs-intra request must warn, run serial, and match exactly.
+    SimulationConfig sim = webConfig(SystemKind::Segm, 16 * kKiB, 0);
+    sim.system.mirrored = true;
+    DeterminismCase c(std::move(sim));
+    EXPECT_EQ(c.dump(2), c.dump(1));
+}
+
+} // namespace
+} // namespace dtsim

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/sweep.hh"
+#include "experiment_replay.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/server_models.hh"
 
@@ -121,8 +122,8 @@ TEST_F(SweepTest, SingleThreadMatchesSequentialRunTrace)
 {
     std::vector<RunResult> sequential;
     for (const SweepJob& job : jobs_) {
-        sequential.push_back(runTrace(job.cfg, *job.trace,
-                                      job.bitmaps, job.pinned));
+        sequential.push_back(test::replayTrace(
+            job.cfg, *job.trace, job.bitmaps, job.pinned));
     }
 
     const std::vector<RunResult> swept = runSweep(jobs_, 1);
@@ -137,8 +138,8 @@ TEST_F(SweepTest, MultiThreadIsBitIdenticalToSequential)
 {
     std::vector<RunResult> sequential;
     for (const SweepJob& job : jobs_) {
-        sequential.push_back(runTrace(job.cfg, *job.trace,
-                                      job.bitmaps, job.pinned));
+        sequential.push_back(test::replayTrace(
+            job.cfg, *job.trace, job.bitmaps, job.pinned));
     }
 
     for (unsigned threads : {2u, 4u, 7u}) {

@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "core/runner.hh"
+#include "experiment_replay.hh"
 #include "hdc/hdc_planner.hh"
 #include "workload/synthetic.hh"
 
@@ -61,7 +62,7 @@ TEST_P(SystemMatrix, CompletesWithConsistentAccounting)
         pp = &pinned;
     }
 
-    const RunResult r = runTrace(cfg, w.trace, &bitmaps, pp);
+    const RunResult r = test::replayTrace(cfg, w.trace, &bitmaps, pp);
 
     // Everything completed.
     EXPECT_EQ(r.requests, ts.records);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/runner.hh"
+#include "experiment_replay.hh"
 #include "hdc/victim_cache.hh"
 #include "workload/synthetic.hh"
 
@@ -93,7 +94,7 @@ TEST(VictimHdc, RunnerIntegration)
     const SyntheticWorkload w =
         makeSynthetic(sp, cfg.disks * cfg.disk.totalBlocks());
 
-    const RunResult r = runTrace(cfg, w.trace);
+    const RunResult r = test::replayTrace(cfg, w.trace);
     EXPECT_GT(r.victimPins, 0u);
     // Re-read victims are served by the controllers.
     EXPECT_GT(r.agg.hdcHitBlocks, 0u);
