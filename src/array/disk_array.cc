@@ -433,7 +433,7 @@ DiskArray::setTracer(RequestTracer* tracer)
 }
 
 void
-DiskArray::exportStats(stats::StatGroup& parent) const
+DiskArray::exportStats(stats::StatGroup& parent, Tick asOf) const
 {
     using stats::Scalar;
     stats::StatGroup& bg = parent.makeGroup("bus");
@@ -444,7 +444,7 @@ DiskArray::exportStats(stats::StatGroup& parent) const
     bg.make<Scalar>("bytes", "payload bytes moved across the bus")
         .set(static_cast<double>(bus_.bytesTransferred()));
     bg.make<Scalar>("utilization", "bus busy fraction of elapsed time")
-        .set(bus_.utilization(eq_.now()));
+        .set(bus_.utilization(asOf ? asOf : eq_.now()));
 
     if (faults_) {
         const FaultCounters& f = faults_->counters();

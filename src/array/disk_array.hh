@@ -139,9 +139,13 @@ class DiskArray
 
     /**
      * Export a snapshot of bus and per-disk counters as owned child
-     * groups of `parent` (see docs/METRICS.md).
+     * groups of `parent` (see docs/METRICS.md). `asOf` pins the
+     * elapsed-time denominator of clock-derived stats (bus
+     * utilization); 0 reads the live event-queue clock. The final
+     * dump passes the run's elapsed time so trailing housekeeping
+     * events (snapshot / stream-frame chains) cannot skew ratios.
      */
-    void exportStats(stats::StatGroup& parent) const;
+    void exportStats(stats::StatGroup& parent, Tick asOf = 0) const;
 
     /** Requests still in flight. */
     std::uint64_t outstanding() const { return outstanding_; }

@@ -78,6 +78,16 @@ blockPolicyTokens()
     return t;
 }
 
+const EnumTable<TraceFormat>&
+traceFormatTokens()
+{
+    static const EnumTable<TraceFormat> t{{
+        {"binary", TraceFormat::Binary},
+        {"jsonl", TraceFormat::Jsonl},
+    }};
+    return t;
+}
+
 void
 bindParams(ParamRegistry& reg, SimulationConfig& sim)
 {
@@ -211,8 +221,9 @@ bindParams(ParamRegistry& reg, SimulationConfig& sim)
     reg.add("run.stats_out", out.statsOut,
             "write the full stats dump to this file (empty = off)");
     reg.add("run.trace", out.trace,
-            "write one JSONL record per completed request to this "
-            "file (needs -DDTSIM_TRACE=ON; empty = off)");
+            "write one sampled record per completed request to this "
+            "file, in the trace.format encoding (empty = off; "
+            "docs/OBSERVABILITY.md)");
     reg.add("run.stats_interval_ticks", out.statsIntervalTicks,
             "also snapshot stats every this many simulated ticks "
             "(0 = final dump only)");
@@ -222,6 +233,38 @@ bindParams(ParamRegistry& reg, SimulationConfig& sim)
             "hardware thread count); results are tick-identical at "
             "any setting");
     reg.markExecutionOnly("run.jobs_intra");
+
+    // trace.* -- sampled-tracing knobs (docs/OBSERVABILITY.md). The
+    // defaults record everything in binary, and the whole group is
+    // elided from effective-config headers when untouched so
+    // pre-sampling headers stay byte-identical.
+    TraceConfig& tc = out.traceCfg;
+    reg.add("trace.sample", tc.sample,
+            "probability that a completed request is recorded, drawn "
+            "per request from a dedicated RNG stream (1 = full "
+            "trace, 0 = none)");
+    reg.add("trace.seed", tc.seed,
+            "seed of the sampling RNG stream; the same seed on the "
+            "same run reproduces the sampled set exactly");
+    reg.addEnum("trace.format", tc.format, traceFormatTokens(),
+                "on-disk trace encoding: binary = 64-byte fixed "
+                "records (compact, the default), jsonl = one JSON "
+                "object per line");
+    reg.add("trace.buffer_records", tc.bufferRecords,
+            "ring capacity in records between the simulation thread "
+            "and the background trace writer (rounded up to a power "
+            "of two); overflow drops records rather than blocking");
+    reg.markExecutionOnly("trace.buffer_records");
+
+    // stats.* -- live stat streaming (docs/OBSERVABILITY.md).
+    // Volatile output: elided from headers when streaming is off.
+    StatsStreamConfig& st = out.stream;
+    reg.add("stats.stream", st.path,
+            "append framed incremental stat snapshots to this "
+            "file/FIFO for live tailing (empty = off)");
+    reg.add("stats.stream_interval_ticks", st.intervalTicks,
+            "simulated ticks between stream frames (0 = inherit "
+            "run.stats_interval_ticks)");
 
     // fault.* -- deterministic fault injection (docs/FAULTS.md).
     // Defaults mean "off"; runs with everything at the default are
@@ -357,6 +400,19 @@ validateConfig(const SimulationConfig& sim)
     check(errs, !server || sim.scale > 0,
           "workload.scale must be > 0 for server workloads");
 
+    const OutputConfig& out = sim.output;
+    check(errs,
+          out.traceCfg.sample >= 0.0 && out.traceCfg.sample <= 1.0,
+          "trace.sample must be in [0, 1]");
+    check(errs, out.traceCfg.sample >= 1.0 || !out.trace.empty(),
+          "trace.sample < 1 has no effect without run.trace");
+    check(errs,
+          !out.stream.enabled() || out.stream.intervalTicks > 0 ||
+              out.statsIntervalTicks > 0,
+          "stats.stream needs a frame cadence: set "
+          "stats.stream_interval_ticks (or run.stats_interval_ticks) "
+          "> 0");
+
     const FaultConfig& f = sys.fault;
     check(errs, f.mediaErrorRate >= 0 && f.mediaErrorRate <= 1,
           "fault.media_error_rate must be in [0,1]");
@@ -453,6 +509,16 @@ renderConfigHeader(const SimulationConfig& sim,
         // pre-fault headers must stay byte-identical): elide it.
         if (!sim.system.fault.enabled() &&
             e.name.compare(0, 6, "fault.") == 0)
+            continue;
+        // Same contract for the sampled-tracing and live-streaming
+        // groups: headers only mention them when a knob was touched,
+        // so pre-sampling dumps stay byte-identical.
+        if (!sim.output.traceCfg.nonDefault() &&
+            e.name.compare(0, 6, "trace.") == 0)
+            continue;
+        if (!sim.output.stream.enabled() &&
+            sim.output.stream.intervalTicks == 0 &&
+            e.name.compare(0, 6, "stats.") == 0)
             continue;
         os << "#conf " << e.name << " = " << e.get() << "\n";
     }

@@ -18,6 +18,8 @@
 
 #include "config/param_registry.hh"
 #include "core/system.hh"
+#include "stats/stats_sink.hh"
+#include "stats/trace.hh"
 #include "workload/synthetic.hh"
 
 namespace dtsim {
@@ -31,8 +33,14 @@ struct OutputConfig
     /** Stats-dump path ("" = off); see docs/METRICS.md. */
     std::string statsOut;
 
-    /** Per-request JSONL trace path ("" = off). */
+    /** Sampled per-request trace path ("" = off). */
     std::string trace;
+
+    /** Sampling/format knobs of the trace (the trace.* group). */
+    TraceConfig traceCfg;
+
+    /** Live stat streaming (the stats.* group). */
+    StatsStreamConfig stream;
 
     /** Periodic snapshot interval in ticks (0 = final dump only). */
     Tick statsIntervalTicks = 0;
@@ -66,10 +74,12 @@ const config::EnumTable<HdcPolicy>& hdcPolicyTokens();
 const config::EnumTable<SchedulerKind>& schedulerKindTokens();
 const config::EnumTable<SegmentPolicy>& segmentPolicyTokens();
 const config::EnumTable<BlockPolicy>& blockPolicyTokens();
+const config::EnumTable<TraceFormat>& traceFormatTokens();
 
 /**
  * Declare every parameter of `sim` on `reg` (group prefixes:
- * workload., system., disk., synthetic., run.). `sim` must outlive
+ * workload., system., disk., synthetic., run., trace., stats.,
+ * fault.). `sim` must outlive
  * the registry. Field values at bind time become the documented
  * defaults, so bind default-constructed configs for canonical docs.
  */

@@ -548,7 +548,11 @@ DiskController::noteComplete(const IoRequest& req, Tick done)
         svc_->busMs.sample(toMillis(req.timing.bus));
     }
 
-    if (tracer_ && tracer_->enabled()) {
+    // shouldRecord() runs the per-request sampling draw; the event is
+    // only assembled for accepted requests. Completions reach this
+    // point in canonical host order under both kernels, so the draw
+    // sequence -- and therefore the sampled set -- is deterministic.
+    if (tracer_ && tracer_->shouldRecord()) {
         RequestTraceEvent ev;
         ev.completed = done;
         ev.disk = diskId_;

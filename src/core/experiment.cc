@@ -88,6 +88,28 @@ Experiment::traceTo(std::string path)
 }
 
 Experiment&
+Experiment::traceWith(TraceConfig cfg)
+{
+    opts_.trace = cfg;
+    return *this;
+}
+
+Experiment&
+Experiment::traceSample(double probability)
+{
+    opts_.trace.sample = probability;
+    return *this;
+}
+
+Experiment&
+Experiment::streamTo(std::string path, Tick interval)
+{
+    opts_.statsStream.path = std::move(path);
+    opts_.statsStream.intervalTicks = interval;
+    return *this;
+}
+
+Experiment&
 Experiment::statsEvery(Tick interval)
 {
     opts_.statsIntervalTicks = interval;
@@ -166,6 +188,10 @@ Experiment::prepare()
         opts_.stats = StatsSink::file(cfg_.output.statsOut);
     if (opts_.tracePath.empty())
         opts_.tracePath = cfg_.output.trace;
+    if (opts_.trace == TraceConfig{})
+        opts_.trace = cfg_.output.traceCfg;
+    if (opts_.statsStream == StatsStreamConfig{})
+        opts_.statsStream = cfg_.output.stream;
     if (opts_.statsIntervalTicks == 0)
         opts_.statsIntervalTicks = cfg_.output.statsIntervalTicks;
     if (opts_.jobsIntra == 1)

@@ -124,8 +124,23 @@ class Experiment
     /** Send the stats dump/snapshots to `sink`. */
     Experiment& statsTo(StatsSink sink);
 
-    /** Write one JSONL record per completed request to `path`. */
+    /** Write one sampled record per completed request to `path`. */
     Experiment& traceTo(std::string path);
+
+    /** Full sampling/format control of the trace (trace.*). */
+    Experiment& traceWith(TraceConfig cfg);
+
+    /** Record each completed request with this probability, drawn
+     * from the dedicated trace.seed RNG stream. */
+    Experiment& traceSample(double probability);
+
+    /**
+     * Stream framed live stat snapshots to `path` every `interval`
+     * simulated ticks (0 = inherit statsEvery / the config's
+     * run.stats_interval_ticks). Works under both kernels; see
+     * docs/OBSERVABILITY.md.
+     */
+    Experiment& streamTo(std::string path, Tick interval = 0);
 
     /** Snapshot stats every `interval` ticks (0 = final dump only). */
     Experiment& statsEvery(Tick interval);

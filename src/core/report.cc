@@ -23,6 +23,23 @@ printRuntimeLine(std::ostream& os, const RunResult& r)
        << " determinism comparisons)\n";
 }
 
+/**
+ * The sampled-tracing accounting line. The dropped count depends on
+ * writer-thread timing (ring overflow), so the whole line is comment
+ * style and stripped from byte comparisons alongside "# runtime:".
+ */
+void
+printTraceLine(std::ostream& os, const RunResult& r)
+{
+    if (r.traceRecords == 0 && r.traceSampledOut == 0 &&
+        r.traceDropped == 0)
+        return;
+    os << "# trace: records=" << r.traceRecords
+       << " sampled_out=" << r.traceSampledOut
+       << " dropped=" << r.traceDropped
+       << " (volatile; excluded from determinism comparisons)\n";
+}
+
 /** Add an owned scalar to `g` and set it. */
 void
 addScalar(stats::StatGroup& g, const char* name, const char* desc,
@@ -126,6 +143,7 @@ printReport(std::ostream& os, const SystemConfig& cfg,
        << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
        << "  streams=" << cfg.streams << "\n";
     printRuntimeLine(os, r);
+    printTraceLine(os, r);
     if (r.faults.any())
         os << "faults: media-errors=" << r.faults.mediaErrors
            << "  retries=" << r.faults.retries
@@ -146,6 +164,7 @@ writeStatsDump(std::ostream& os, const SystemConfig& cfg,
     os << "# dtsim stats dump -- every name is documented in"
           " docs/METRICS.md\n";
     printRuntimeLine(os, r);
+    printTraceLine(os, r);
     os << "system: " << cfg.label() << "  disks=" << cfg.disks
        << "  unit=" << cfg.stripeUnitBytes / 1024 << "KB"
        << "  streams=" << cfg.streams << "\n";
@@ -188,8 +207,10 @@ writeStatsDump(std::ostream& os, const SystemConfig& cfg,
     }
 
     // Component counters (per-disk + bus) join the same tree so one
-    // print covers everything under the "sim." prefix.
-    array.exportStats(root);
+    // print covers everything under the "sim." prefix. Clock-derived
+    // ratios are pinned to the run's elapsed time, which a trailing
+    // snapshot/stream event may have advanced the queue clock past.
+    array.exportStats(root, r.elapsed);
     root.print(os);
 
     // The service histograms live in the runner's own group; print
@@ -208,6 +229,28 @@ writeStatsSnapshot(std::ostream& os, const DiskArray& array,
     root.print(os);
     if (svc)
         svc->group.print(os, "sim.");
+}
+
+void
+writeStatsFrame(std::ostream& os, const DiskArray& array,
+                const stats::ServiceStats* svc, Tick now,
+                std::uint64_t seq, bool final_frame)
+{
+    // Both delimiters carry the sequence number so a tail reader can
+    // match them up and detect torn frames; the body is the same
+    // incremental counter tree a snapshot prints.
+    os << "==> dtsim stats seq=" << seq << " tick=" << now << " ("
+       << toMillis(now) << " ms)" << (final_frame ? " final" : "")
+       << " <==\n";
+    stats::StatGroup root("sim");
+    array.exportStats(root, now);
+    root.print(os);
+    if (svc)
+        svc->group.print(os, "sim.");
+    os << "==> end seq=" << seq << " <==\n";
+    // A frame is only useful if the tail reader sees it while the
+    // run is still going.
+    os.flush();
 }
 
 } // namespace dtsim

@@ -52,6 +52,17 @@ void writeStatsDump(std::ostream& os, const SystemConfig& cfg,
 void writeStatsSnapshot(std::ostream& os, const DiskArray& array,
                         const stats::ServiceStats* svc, Tick now);
 
+/**
+ * Write one live-streaming frame (used by stats.stream): the
+ * snapshot counter tree bracketed by "==> dtsim stats seq=N ... <=="
+ * / "==> end seq=N <==" delimiter lines and flushed, so a `tail -f`
+ * reader can consume whole frames as the run progresses. See
+ * docs/OBSERVABILITY.md for the frame grammar.
+ */
+void writeStatsFrame(std::ostream& os, const DiskArray& array,
+                     const stats::ServiceStats* svc, Tick now,
+                     std::uint64_t seq, bool final_frame);
+
 } // namespace dtsim
 
 #endif // DTSIM_CORE_REPORT_HH

@@ -166,11 +166,13 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     // direct runTrace() calls get a system/disk-level one.
     std::string config_header = opts.configHeader;
     if (config_header.empty() &&
-        (opts.wantsStats() || !opts.tracePath.empty())) {
+        (opts.wantsStats() || !opts.tracePath.empty() ||
+         opts.statsStream.enabled())) {
         SimulationConfig sim;
         sim.system = cfg;
-        config_header =
-            renderConfigHeader(sim, {"system.", "disk.", "fault."});
+        sim.output.traceCfg = opts.trace;
+        config_header = renderConfigHeader(
+            sim, {"system.", "disk.", "trace.", "fault."});
     }
 
     StatsSink::Writer stats_out = opts.stats.open("runTrace");
@@ -179,9 +181,31 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
 
     stats::StatGroup live_root("sim");
     std::unique_ptr<stats::ServiceStats> svc;
-    if (opts.wantsStats()) {
+    if (opts.wantsStats() || opts.statsStream.enabled()) {
         svc = std::make_unique<stats::ServiceStats>(live_root);
         array.setServiceStats(svc.get());
+    }
+
+    // Live stat streaming (stats.stream): framed snapshots appended
+    // to a file/FIFO as simulated time passes. The stream is volatile
+    // output -- serial runs emit frames from the event queue, sharded
+    // runs at window barriers -- so, unlike dump snapshots, it never
+    // forces the serial kernel.
+    StatsSink::Writer stream_out;
+    Tick stream_interval = 0;
+    std::uint64_t stream_seq = 0;
+    if (opts.statsStream.enabled()) {
+        stream_interval = opts.statsStream.intervalTicks > 0
+                              ? opts.statsStream.intervalTicks
+                              : opts.statsIntervalTicks;
+        if (stream_interval == 0)
+            fatal("stats.stream needs stats.stream_interval_ticks "
+                  "(or run.stats_interval_ticks) > 0");
+        stream_out =
+            StatsSink::file(opts.statsStream.path).open("stats stream");
+        if (!config_header.empty())
+            stream_out.os() << config_header;
+        stream_out.os().flush();
     }
 
     // Stamp scripted fault events (disk kill/repair/rebuild-done)
@@ -200,7 +224,7 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
 
     RequestTracer tracer;
     if (!opts.tracePath.empty()) {
-        tracer.open(opts.tracePath);
+        tracer.open(opts.tracePath, opts.trace);
         tracer.writePreamble(config_header);
         array.setTracer(&tracer);
     }
@@ -218,19 +242,59 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
             });
     }
 
-    // Periodic snapshots ride the simulation event queue; the chain
-    // stops re-arming once no other work is pending so it never keeps
-    // the queue alive by itself.
+    // Periodic snapshots and stream frames ride the simulation event
+    // queue; each chain stops re-arming once no work other than
+    // housekeeping is pending, so the chains never keep the queue
+    // alive by themselves -- or, crucially, each other (two chains
+    // that each re-armed on `!eq.empty()` would sustain one another
+    // forever once the real workload drained).
+    std::size_t housekeeping = 0;
     std::function<void()> snapshot;
     if (opts.statsIntervalTicks > 0 && opts.wantsStats()) {
         snapshot = [&]() {
+            --housekeeping;
             if (stats_out)
                 writeStatsSnapshot(stats_out.os(), array, svc.get(),
                                    eq.now());
-            if (!eq.empty())
+            if (eq.pending() > housekeeping) {
+                ++housekeeping;
                 eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
+            }
         };
+        ++housekeeping;
         eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
+    }
+
+    // Stream frames: serial runs chain them on the event queue like
+    // snapshots; sharded runs emit them at window barriers, where the
+    // workers are parked and shard counters are coherent. Either way
+    // the frame cadence is wall-of-simulated-time, not exact -- the
+    // stream is volatile output.
+    std::function<void()> stream_tick;
+    bool stream_chained = false;
+    if (stream_out && !sharded) {
+        stream_chained = true;
+        stream_tick = [&]() {
+            --housekeeping;
+            writeStatsFrame(stream_out.os(), array, svc.get(),
+                            eq.now(), stream_seq++, false);
+            if (eq.pending() > housekeeping) {
+                ++housekeeping;
+                eq.scheduleAfter(stream_interval, stream_tick);
+            }
+        };
+        ++housekeeping;
+        eq.scheduleAfter(stream_interval, stream_tick);
+    }
+    if (stream_out && sharded) {
+        kernel->setBarrierHook(
+            [&, next = stream_interval](Tick origin) mutable {
+                if (origin < next || origin == kTickMax)
+                    return;
+                writeStatsFrame(stream_out.os(), array, svc.get(),
+                                origin, stream_seq++, false);
+                next = origin + stream_interval;
+            });
     }
 
     const auto wall_begin = std::chrono::steady_clock::now();
@@ -262,14 +326,15 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
         } else {
             array.flushAllHdc();
             eq.run();
-            // A trailing snapshot event may have advanced the clock
-            // past the last completion before the flush began; charge
-            // the flush window from there so it is not inflated (with
-            // snapshots off, base == io_time and the result is
-            // identical to a run without observability).
-            const Tick base = opts.statsIntervalTicks > 0
-                                  ? std::max(io_time, post_drain)
-                                  : io_time;
+            // A trailing snapshot or stream-frame event may have
+            // advanced the clock past the last completion before the
+            // flush began; charge the flush window from there so it
+            // is not inflated (with both off, base == io_time and the
+            // result is identical to a run without observability).
+            const Tick base =
+                (opts.statsIntervalTicks > 0 || stream_chained)
+                    ? std::max(io_time, post_drain)
+                    : io_time;
             flush_time = eq.now() > base ? eq.now() - base : 0;
         }
     }
@@ -298,7 +363,6 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     }
     res.agg = array.aggregateStats();
     res.ra = array.aggregateRaCounters();
-    res.traceRecords = tracer.records();
     res.faults = array.faultCounters();
 
     const std::uint64_t accesses = res.agg.reads + res.agg.writes;
@@ -330,7 +394,18 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
             bytes / toSeconds(res.elapsed) / 1.0e6;
     }
 
+    // close() joins the writer thread, so the drop counter is final
+    // and every accepted record has reached the file.
     tracer.close();
+    res.traceRecords = tracer.records();
+    res.traceSampledOut = tracer.sampledOut();
+    res.traceDropped = tracer.dropped();
+
+    if (stream_out) {
+        writeStatsFrame(stream_out.os(), array, svc.get(),
+                        res.elapsed, stream_seq++, true);
+        res.streamFrames = stream_seq;
+    }
 
     if (stats_out)
         writeStatsDump(stats_out.os(), cfg, res, array, svc.get(),

@@ -22,6 +22,7 @@
 #include "fault/fault_model.hh"
 #include "fs/buffer_cache.hh"
 #include "stats/stats_sink.hh"
+#include "stats/trace.hh"
 #include "workload/trace.hh"
 
 namespace dtsim {
@@ -35,8 +36,24 @@ struct RunOptions
      */
     StatsSink stats;
 
-    /** Write one JSONL record per completed request ("" = off). */
+    /** Write one sampled record per completed request ("" = off). */
     std::string tracePath;
+
+    /**
+     * Sampling probability, RNG seed, on-disk format, and ring
+     * capacity of the trace (stats/trace.hh). The defaults record
+     * every request in the binary format.
+     */
+    TraceConfig trace;
+
+    /**
+     * Live stat streaming: periodically append a framed snapshot to
+     * a file/FIFO for `tail -f`. Serial runs emit frames from the
+     * event queue; sharded runs emit them at window barriers, so
+     * streaming (unlike dump snapshots) never forces the serial
+     * kernel. Volatile output -- frame cadence is kernel-dependent.
+     */
+    StatsStreamConfig statsStream;
 
     /**
      * Pre-rendered effective-config header (renderConfigHeader in
@@ -144,8 +161,23 @@ struct RunResult
     /** Aggregate read-ahead accuracy counters. */
     RaCounters ra;
 
-    /** JSONL trace records written (0 when tracing was off). */
+    /** Trace records written (0 when tracing was off). */
     std::uint64_t traceRecords = 0;
+
+    /** Completions the trace.sample draw skipped (deterministic for
+     * a given seed and configuration). */
+    std::uint64_t traceSampledOut = 0;
+
+    /**
+     * Trace records lost because the writer thread fell behind and
+     * the ring filled. Timing-dependent and therefore volatile: it
+     * appears in reports and the "# trace:" dump comment, never in
+     * deterministic output.
+     */
+    std::uint64_t traceDropped = 0;
+
+    /** Stream frames emitted (0 when stats.stream was off). */
+    std::uint64_t streamFrames = 0;
 
     /** Fault/recovery counters (all zero when faults are off). */
     FaultCounters faults;

@@ -204,6 +204,10 @@ ShardedKernel::run()
         // run past the earliest shard event, whose emissions it must
         // merge in tick order.
         const Tick h = std::min(host_next, staged_next);
+        // Workers are parked between rounds: the barrier hook may
+        // read shard-side state (live stat streaming) race-free.
+        if (barrierHook_)
+            barrierHook_(std::min(h, emin));
         const Tick shard_bound =
             satAdd(std::min(h, emin), lookahead_);
         const Tick host_bound = std::min(emin, shard_bound);

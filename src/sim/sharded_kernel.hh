@@ -38,6 +38,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -137,6 +138,21 @@ class ShardedKernel final : public ShardLink
     /** Synchronization rounds executed by run(). */
     std::uint64_t rounds() const { return rounds_; }
 
+    /**
+     * Install a hook run by the coordinator at every window barrier,
+     * with all workers parked — the one point mid-run where host and
+     * shard state may be read coherently (the round mutex hand-off
+     * orders every shard write before the hook). The argument is the
+     * round's window origin (the earliest pending tick anywhere).
+     * Used for live stat streaming; keep it cheap, it is on the
+     * round path.
+     */
+    void
+    setBarrierHook(std::function<void(Tick)> fn)
+    {
+        barrierHook_ = std::move(fn);
+    }
+
   private:
     struct Emission
     {
@@ -188,6 +204,9 @@ class ShardedKernel final : public ShardLink
     unsigned workerCount_ = 1;
     std::uint64_t nextArrivalSeq_ = 0;
     std::uint64_t rounds_ = 0;
+
+    /** Coordinator-only; run at each window barrier when set. */
+    std::function<void(Tick)> barrierHook_;
     bool quiesced_ = false;
 
     // Round barrier. The coordinator publishes a new round_ with a

@@ -1,21 +1,40 @@
 /**
  * @file
- * Per-request JSONL tracing.
+ * Runtime-sampled per-request tracing.
  *
- * RequestTracer emits one JSON record per completed disk-level I/O:
+ * RequestTracer emits one record per sampled completed disk-level I/O:
  * completion tick, disk, starting LBA, block count, direction, how the
  * request was served (media / controller cache / HDC), and the service
  * time breakdown (queue, seek, rotation, transfer, bus, total latency),
- * all in ticks (nanoseconds).
+ * all in ticks (nanoseconds). Two on-disk formats share one preamble
+ * convention ('#' comment lines carrying the effective config):
  *
- * The fast path is built for near-zero overhead when tracing is off:
- * record() is an inline null check (and compiles away entirely when the
- * CMake option DTSIM_TRACE is OFF, which defines DTSIM_TRACE_ENABLED=0),
- * and an enabled tracer formats into a stack buffer so no allocation
- * happens per record.
+ *  * binary (the default): fixed 64-byte little-endian records
+ *    (stats/trace_ring.hh) after a "#dtsim-binary-trace" marker line —
+ *    compact and cheap enough to leave on in production runs;
+ *  * jsonl: the original one-JSON-object-per-line text format, byte
+ *    identical to what pre-sampling DTSim wrote.
+ *
+ * The hot path is built to be left on: shouldRecord() runs the
+ * per-request Bernoulli draw (`trace.sample`) against a dedicated
+ * deterministic RNG stream (`trace.seed`), so the simulation RNGs are
+ * never perturbed and the sampled set is reproducible — including
+ * across serial and sharded kernels, because records are drawn in the
+ * canonical host-context completion order. Accepted records are packed
+ * into 64-byte BinaryTraceRecords and pushed through a lock-free SPSC
+ * ring drained by a background writer thread; when the writer falls
+ * behind and the ring fills, records are dropped and counted
+ * (dropped()) rather than ever blocking the simulation thread. The
+ * writer never polls — it parks in a futex-backed atomic wait and the
+ * producer wakes it only when a batch of records has accumulated — so
+ * an armed tracer costs the simulation nothing while idle, even on a
+ * single-CPU host where the two threads share one core. With
+ * the CMake option DTSIM_TRACE OFF (DTSIM_TRACE_ENABLED=0) the whole
+ * facility still compiles away to nothing.
  *
  * The reader side (parseTraceLine / readTraceFile) is always compiled
- * so tools and tests can consume traces regardless of the toggle.
+ * so tools and tests can consume traces regardless of the toggle;
+ * readTraceFile auto-detects the format from the marker line.
  */
 
 #ifndef DTSIM_STATS_TRACE_HH
@@ -27,12 +46,17 @@
 #define DTSIM_TRACE_ENABLED 1
 #endif
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "sim/rng.hh"
 #include "sim/ticks.hh"
+#include "stats/trace_ring.hh"
 
 namespace dtsim {
 
@@ -45,6 +69,52 @@ enum class TraceOutcome : std::uint8_t {
 
 /** JSON value of the "how" field for an outcome. */
 const char* traceOutcomeName(TraceOutcome o);
+
+/** On-disk trace encoding (trace.format). */
+enum class TraceFormat : std::uint8_t {
+    Binary,  ///< 64-byte fixed records after a marker line
+    Jsonl,   ///< one JSON object per line (the pre-sampling format)
+};
+
+/**
+ * Runtime tracing knobs (the trace.* config group). The defaults
+ * reproduce a full trace, so a bare `--trace FILE` records every
+ * request exactly as before sampling existed.
+ */
+struct TraceConfig
+{
+    /**
+     * Probability that a completed request is recorded, drawn per
+     * request from a dedicated RNG stream. 1 = record everything
+     * (and skip the draw entirely); 0 = record nothing.
+     */
+    double sample = 1.0;
+
+    /** Seed of the sampling RNG stream (independent of run seeds). */
+    std::uint64_t seed = 1;
+
+    /** On-disk encoding of the records. */
+    TraceFormat format = TraceFormat::Binary;
+
+    /**
+     * Ring capacity in records between the simulation thread and the
+     * background writer (rounded up to a power of two). Larger rings
+     * absorb longer writer stalls before dropping records.
+     * Execution-only: never part of the effective-config header.
+     */
+    std::uint64_t bufferRecords = 65536;
+
+    bool operator==(const TraceConfig&) const = default;
+
+    /** True when any header-visible knob differs from its default
+     * (bufferRecords is execution-only and deliberately excluded). */
+    bool
+    nonDefault() const
+    {
+        return sample != 1.0 || seed != 1 ||
+            format != TraceFormat::Binary;
+    }
+};
 
 /** One completed request, as written to / parsed from a trace. */
 struct RequestTraceEvent
@@ -67,10 +137,23 @@ struct RequestTraceEvent
                                  ///< mirror ("degraded": 0/1)
 };
 
+/** Pack an event into the 64-byte on-disk record (saturating the
+ * narrow component fields). */
+BinaryTraceRecord packTraceRecord(const RequestTraceEvent& ev);
+
+/** Expand a 64-byte record back into an event. */
+RequestTraceEvent unpackTraceRecord(const BinaryTraceRecord& rec);
+
+/** Format one record as a JSONL line (exactly the bytes the jsonl
+ * format writes, including the trailing newline). */
+std::string traceRecordToJsonl(const BinaryTraceRecord& rec);
+
 /**
- * Writes request records to a JSONL file. A default-constructed tracer
- * is disabled; open() arms it. Not thread-safe: each simulated system
- * owns its own tracer (sweep jobs each run in one thread).
+ * Writes sampled request records to a trace file through a background
+ * writer thread. A default-constructed tracer is disabled; open()
+ * arms it and starts the writer. The recording side (shouldRecord /
+ * record) must be driven by exactly one thread — the simulation host
+ * context; sweep jobs each own their own tracer.
  */
 class RequestTracer
 {
@@ -85,22 +168,30 @@ class RequestTracer
     static constexpr bool compiledIn() { return DTSIM_TRACE_ENABLED != 0; }
 
     /**
-     * Start writing to `path` (truncates). fatal() if tracing was
-     * compiled out or the file cannot be opened.
+     * Start writing to `path` (truncates) with the given sampling /
+     * format configuration, and start the background writer thread.
+     * fatal() if tracing was compiled out or the file cannot be
+     * opened.
      */
-    void open(const std::string& path);
+    void open(const std::string& path, const TraceConfig& cfg = {});
 
-    /** Flush and close the output file; the tracer becomes disabled. */
+    /**
+     * Stop the writer thread (draining every queued record), flush
+     * and close the output file; the tracer becomes disabled. The
+     * records()/sampledOut()/dropped() counters survive close() and
+     * report the finished run.
+     */
     void close();
 
     /**
      * Write preamble text (e.g. the effective-config header) ahead of
      * the records. Every line must start with '#'; the reader side
-     * and trace_summary skip such lines. No-op when disabled.
+     * and trace_summary skip such lines. Must precede the first
+     * record. No-op when disabled.
      */
     void writePreamble(const std::string& text);
 
-    /** True when records are being written. */
+    /** True when the tracer is armed (even at trace.sample = 0). */
     bool
     enabled() const
     {
@@ -111,27 +202,99 @@ class RequestTracer
 #endif
     }
 
-    /** Record one completed request; no-op when disabled. */
+    /**
+     * Run the sampling draw for one completed request: true when the
+     * caller should build the event and record() it. Call exactly
+     * once per candidate — the draw advances the sampling stream, so
+     * the call sequence defines the (reproducible) sampled set.
+     * Always false when disabled.
+     */
+    bool
+    shouldRecord()
+    {
+#if DTSIM_TRACE_ENABLED
+        if (!out_)
+            return false;
+        if (sampleAll_)
+            return true;
+        // sample = 0 records nothing and, like sample = 1, leaves
+        // the RNG stream untouched.
+        if (sampleNone_ || !rng_.chance(cfg_.sample)) {
+            ++sampledOut_;
+            return false;
+        }
+        return true;
+#else
+        return false;
+#endif
+    }
+
+    /**
+     * Queue one request record for the writer thread; no-op when
+     * disabled. Does not itself sample — pair with shouldRecord().
+     */
     void
     record(const RequestTraceEvent& ev)
     {
 #if DTSIM_TRACE_ENABLED
         if (out_)
-            writeRecord(ev);
+            enqueueRecord(ev);
 #else
         (void)ev;
 #endif
     }
 
-    /** Number of records written since open(). */
+    /** Records accepted for writing since open() (every one of these
+     * reaches the file; ring overflow is counted in dropped()). */
     std::uint64_t records() const { return records_; }
 
+    /** Sampling candidates skipped by the trace.sample draw. */
+    std::uint64_t sampledOut() const { return sampledOut_; }
+
+    /** Records lost to ring overflow (writer thread fell behind).
+     * Final after close(); timing-dependent, never deterministic. */
+    std::uint64_t dropped() const;
+
   private:
-    void writeRecord(const RequestTraceEvent& ev);
+    void enqueueRecord(const RequestTraceEvent& ev);
+    void wakeWriter();
+    void writerLoop();
+    void writeBatch(const BinaryTraceRecord* recs, std::size_t n);
+    void writeBinaryMarker();
 
     std::FILE* out_ = nullptr;
+    TraceConfig cfg_;
+    Rng rng_;                    ///< dedicated sampling stream
+    bool sampleAll_ = true;      ///< sample >= 1: skip the draw
+    bool sampleNone_ = false;    ///< sample <= 0: skip the draw
     std::uint64_t records_ = 0;
+    std::uint64_t sampledOut_ = 0;
+    std::uint64_t droppedFinal_ = 0;  ///< captured at close()
+    std::unique_ptr<TraceRing> ring_;
+    std::thread writer_;
+    std::atomic<bool> stop_{false};
+
+    /**
+     * True while the writer thread is blocked in an atomic wait. The
+     * writer never polls: once the ring drains it parks here and the
+     * producer wakes it (wakeWriter) only when wakeBatch_ records
+     * have accumulated, so an idle or lightly-sampled trace costs
+     * zero context switches — essential on single-CPU hosts, where a
+     * periodically polling writer steals timeslices from the
+     * simulation thread itself. Records below the threshold sit in
+     * the ring until the batch fills or close() drains everything.
+     */
+    std::atomic<bool> parked_{false};
+    std::size_t wakeBatch_ = 1;  ///< ring fill that triggers a wake
+    bool markerWritten_ = false; ///< writer thread / close() only
 };
+
+/**
+ * The line that separates the '#' preamble from raw binary records in
+ * a binary trace file (written with a trailing newline; the records
+ * start at the byte after it).
+ */
+extern const char kBinaryTraceMarker[];
 
 /**
  * Parse one JSONL trace line into `ev`. Returns false (leaving `ev`
@@ -140,8 +303,10 @@ class RequestTracer
 bool parseTraceLine(const std::string& line, RequestTraceEvent& ev);
 
 /**
- * Read a whole trace file. Returns false and warns on open failure or
- * on the first unparsable line. Blank lines are ignored.
+ * Read a whole trace file, auto-detecting binary vs JSONL from the
+ * marker line. Returns false and warns on open failure, on the first
+ * unparsable line, or on a truncated binary record. Blank lines are
+ * ignored.
  */
 bool readTraceFile(const std::string& path,
                    std::vector<RequestTraceEvent>& out);

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fixed-size binary trace records and the single-producer /
+ * single-consumer ring that carries them off the simulation thread.
+ *
+ * The sampled tracer (stats/trace.hh) packs each accepted
+ * RequestTraceEvent into a 64-byte BinaryTraceRecord and push()es it
+ * into a TraceRing; a background writer thread pop()s batches and
+ * serializes them (raw records or JSONL) so no file I/O ever happens
+ * on the simulation thread. push() never blocks: when the consumer
+ * falls behind and the ring fills, the record is counted as dropped
+ * and the simulation proceeds at full speed.
+ *
+ * Concurrency contract: exactly one producer thread (the simulation
+ * host context) and one consumer thread (the tracer's writer). The
+ * ring is a power-of-two slot array indexed by free-running head/tail
+ * counters; the producer releases a slot by storing tail_, the
+ * consumer acquires it by loading tail_, and vice versa for head_ —
+ * the classic SPSC protocol, no locks, no CAS.
+ */
+
+#ifndef DTSIM_STATS_TRACE_RING_HH
+#define DTSIM_STATS_TRACE_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dtsim {
+
+/**
+ * One traced request as stored on disk in binary format: 64 bytes,
+ * little-endian, field order below (see docs/OBSERVABILITY.md for the
+ * authoritative field table). Tick-valued fields that can exceed 4.29
+ * seconds (completion tick, latency, queue wait) are 64-bit; the
+ * per-component service times (seek, rotation, transfer, bus) are
+ * 32-bit — they are bounded by single-access mechanics, orders of
+ * magnitude under the 4.29 s limit — and saturate rather than wrap if
+ * an exotic configuration ever exceeds them.
+ */
+struct BinaryTraceRecord
+{
+    std::uint64_t completed;   ///< completion tick ("t")
+    std::uint64_t lba;         ///< first block number
+    std::uint64_t latency;     ///< submit-to-complete ticks
+    std::uint64_t queue;       ///< scheduler queue wait ticks
+    std::uint32_t seek;        ///< seek + settle ticks (saturating)
+    std::uint32_t rotation;    ///< rotational delay ticks (saturating)
+    std::uint32_t transfer;    ///< media transfer ticks (saturating)
+    std::uint32_t bus;         ///< SCSI bus ticks (saturating)
+    std::uint32_t blocks;      ///< request length in blocks
+    std::uint16_t disk;        ///< physical disk id
+    std::uint8_t flags;        ///< bit 0 = write, bit 1 = degraded
+    std::uint8_t outcome;      ///< TraceOutcome as an integer
+    std::uint16_t faults;      ///< failed media attempts (saturating)
+    std::uint16_t retries;     ///< media retries (saturating)
+    std::uint32_t reserved;    ///< zero; room for future fields
+};
+
+static_assert(sizeof(BinaryTraceRecord) == 64,
+              "binary trace records are a stable 64-byte format");
+
+/** BinaryTraceRecord::flags bits. */
+enum : std::uint8_t {
+    kTraceFlagWrite = 1u << 0,
+    kTraceFlagDegraded = 1u << 1,
+};
+
+/**
+ * Lock-free SPSC ring of BinaryTraceRecords. Capacity is rounded up
+ * to a power of two. The producer-side drop counter is plain (only
+ * the producer writes it); read it after the producer is done, or
+ * accept a possibly-stale value.
+ */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    TraceRing(const TraceRing&) = delete;
+    TraceRing& operator=(const TraceRing&) = delete;
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /**
+     * Producer: enqueue one record. Returns false — and counts the
+     * record as dropped — when the ring is full. Never blocks.
+     */
+    bool
+    push(const BinaryTraceRecord& rec)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head >= buf_.size()) {
+            ++dropped_;
+            return false;
+        }
+        buf_[tail & mask_] = rec;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer: dequeue up to `max` records into `out`. Returns the
+     * number actually copied (0 when the ring is empty).
+     */
+    std::size_t
+    pop(BinaryTraceRecord* out, std::size_t max)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        std::size_t n = tail - head;
+        if (n > max)
+            n = max;
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = buf_[(head + i) & mask_];
+        head_.store(head + n, std::memory_order_release);
+        return n;
+    }
+
+    /**
+     * Records currently queued. Exact from the producer thread;
+     * from any other thread a snapshot that may lag either cursor.
+     */
+    std::size_t
+    size() const
+    {
+        return tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire);
+    }
+
+    /** Records rejected by push() because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    std::vector<BinaryTraceRecord> buf_;
+    std::size_t mask_ = 0;
+    std::atomic<std::size_t> head_{0};  ///< consumer cursor
+    std::atomic<std::size_t> tail_{0};  ///< producer cursor
+    std::uint64_t dropped_ = 0;         ///< producer-owned
+};
+
+} // namespace dtsim
+
+#endif // DTSIM_STATS_TRACE_RING_HH

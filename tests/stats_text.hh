@@ -3,9 +3,11 @@
  * Test helper: normalize stats-dump text for byte comparisons.
  *
  * Stats dumps open with a "# runtime:" line (wall clock, events/sec)
- * that is volatile by design -- documented in docs/METRICS.md as
- * excluded from determinism comparisons. Tests asserting that two
- * dumps are byte-identical strip it first.
+ * and, when tracing ran, a "# trace:" line (whose dropped count
+ * depends on writer-thread timing); both are volatile by design --
+ * documented in docs/METRICS.md as excluded from determinism
+ * comparisons. Tests asserting that two dumps are byte-identical
+ * strip them first.
  */
 
 #ifndef DTSIM_TESTS_STATS_TEXT_HH
@@ -24,7 +26,8 @@ stripRuntime(const std::string& dump)
     std::ostringstream out;
     std::string line;
     while (std::getline(in, line)) {
-        if (line.compare(0, 10, "# runtime:") == 0)
+        if (line.compare(0, 10, "# runtime:") == 0 ||
+            line.compare(0, 8, "# trace:") == 0)
             continue;
         out << line << "\n";
     }

@@ -92,11 +92,25 @@ usage()
         "                      point writes FILE.<key-value>[...], plus\n"
         "                      non-default fault.* params when a fault\n"
         "                      scenario is configured\n"
-        "  --trace FILE        one JSONL record per completed request\n"
-        "                      (run.trace; needs -DDTSIM_TRACE=ON);\n"
-        "                      suffixed per point under a sweep\n"
+        "  --trace FILE        one sampled record per completed\n"
+        "                      request (run.trace; binary by default,\n"
+        "                      see --trace-format and\n"
+        "                      docs/OBSERVABILITY.md); suffixed per\n"
+        "                      point under a sweep\n"
+        "  --trace-sample P    record each completed request with\n"
+        "                      probability P from a dedicated RNG\n"
+        "                      stream (trace.sample; default 1 =\n"
+        "                      every request, seed via trace.seed)\n"
+        "  --trace-format F    trace encoding: binary|jsonl\n"
+        "                      (trace.format; trace_summary reads\n"
+        "                      both and converts with --to-jsonl)\n"
         "  --stats-interval T  also snapshot stats every T ticks (ns)\n"
         "                      (run.stats_interval_ticks)\n"
+        "  --stats-stream FILE append framed live stat snapshots to\n"
+        "                      FILE/FIFO for `tail -f` (stats.stream;\n"
+        "                      cadence stats.stream_interval_ticks,\n"
+        "                      default --stats-interval); suffixed\n"
+        "                      per point under a sweep\n"
         "  --jobs N            sweep threads (default DTSIM_JOBS,\n"
         "                      else all cores)\n"
         "  --jobs-intra N      intra-run kernel threads sharding one\n"
@@ -334,6 +348,8 @@ runSweepMode(const SweepSpec& spec, unsigned jobs)
             p.cfg.output.statsOut += coordSuffix(p);
         if (!p.cfg.output.trace.empty())
             p.cfg.output.trace += coordSuffix(p);
+        if (!p.cfg.output.stream.path.empty())
+            p.cfg.output.stream.path += coordSuffix(p);
     }
 
     std::size_t label_w = 8;
@@ -468,9 +484,15 @@ main(int argc, char** argv)
             setParam(reg, "run.stats_out", arg(argc, argv, i));
         } else if (a == "--trace") {
             setParam(reg, "run.trace", arg(argc, argv, i));
+        } else if (a == "--trace-sample") {
+            setParam(reg, "trace.sample", arg(argc, argv, i));
+        } else if (a == "--trace-format") {
+            setParam(reg, "trace.format", arg(argc, argv, i));
         } else if (a == "--stats-interval") {
             setParam(reg, "run.stats_interval_ticks",
                      arg(argc, argv, i));
+        } else if (a == "--stats-stream") {
+            setParam(reg, "stats.stream", arg(argc, argv, i));
         } else if (a == "--log-level") {
             const char* name = arg(argc, argv, i);
             LogLevel level;
