@@ -23,13 +23,30 @@ DiskArray::DiskArray(EventQueue& eq, const ArrayConfig& cfg,
               kernel->shards(), cfg.disks);
     if (!kernel)
         serialLink_ = std::make_unique<SerialMergeLink>(eq_);
+    link_ = kernel ? static_cast<ShardLink*>(kernel)
+                   : static_cast<ShardLink*>(serialLink_.get());
+    if (cfg.mirrored) {
+        // Canonical merge order for replica pairs: (logical disk,
+        // replica index), so same-tick emissions of a pair merge
+        // primary-then-mirror regardless of physical numbering. Both
+        // link implementations honour it, keeping mirrored serial
+        // runs byte-identical to sharded ones. Unmirrored arrays keep
+        // the identity order.
+        const unsigned half = cfg.disks / 2;
+        std::vector<unsigned> ranks(cfg.disks);
+        for (unsigned d = 0; d < cfg.disks; ++d) {
+            const unsigned logical = d < half ? d : d - half;
+            const unsigned replica = d < half ? 0u : 1u;
+            ranks[d] = logical * 2 + replica;
+        }
+        link_->setMergeRanks(std::move(ranks));
+    }
     ctrls_.reserve(cfg.disks);
     for (unsigned d = 0; d < cfg.disks; ++d) {
         auto ctl = std::make_unique<DiskController>(
             kernel ? kernel->shardQueue(d) : eq_, bus_, cfg.disk,
             cfg.controller, d);
-        ctl->setShardLink(kernel ? static_cast<ShardLink*>(kernel)
-                                 : serialLink_.get());
+        ctl->setShardLink(link_);
         ctrls_.push_back(std::move(ctl));
     }
 
@@ -120,7 +137,7 @@ DiskArray::pickReadTarget(unsigned disk, bool& degraded)
               "read",
               disk, mirror);
     degraded = true;
-    ++faults_->counters().degradedReads;
+    ++faults_->hostCounters().degradedReads;
     return primary_ok ? disk : mirror;
 }
 
@@ -238,7 +255,7 @@ DiskArray::submit(ArrayRequest req)
             const bool m_dead =
                 faults_->health(sr.disk + half) == DiskHealth::Dead;
             if (p_dead || m_dead)
-                ++faults_->counters().degradedWrites;
+                ++faults_->hostCounters().degradedWrites;
             if (!p_dead)
                 submitSub(sr.disk, sr, true, pending, m_dead);
             if (!m_dead)
@@ -288,9 +305,63 @@ DiskArray::unpinLogicalBlock(ArrayBlock lb)
 }
 
 void
+DiskArray::pinOnDisk(unsigned d, BlockNum b)
+{
+    DiskController* c = ctrls_[d].get();
+    link_->postToShard(d, link_->hostNow() + c->commandLatency(),
+                       [c, b]() {
+                           if (!c->pinBlock(b))
+                               fatal("DiskArray: deferred pin_blk of "
+                                     "block %llu failed on disk %u -- "
+                                     "the host-side capacity model is "
+                                     "out of sync",
+                                     static_cast<unsigned long long>(b),
+                                     c->diskId());
+                       });
+}
+
+void
+DiskArray::unpinOnDisk(unsigned d, BlockNum b)
+{
+    DiskController* c = ctrls_[d].get();
+    link_->postToShard(d, link_->hostNow() + c->commandLatency(),
+                       [c, b]() {
+                           if (!c->unpinBlock(b))
+                               fatal("DiskArray: deferred unpin_blk of "
+                                     "block %llu failed on disk %u -- "
+                                     "the host-side pin set is out of "
+                                     "sync",
+                                     static_cast<unsigned long long>(b),
+                                     c->diskId());
+                       });
+}
+
+void
+DiskArray::pinLogicalBlockDeferred(ArrayBlock lb)
+{
+    if (lb >= totalBlocks())
+        fatal("DiskArray: pin past end of array");
+    const PhysicalLoc loc = striping_.toPhysical(lb);
+    pinOnDisk(loc.disk, loc.block);
+    if (mirrored_)
+        pinOnDisk(loc.disk + striping_.disks(), loc.block);
+}
+
+void
+DiskArray::unpinLogicalBlockDeferred(ArrayBlock lb)
+{
+    if (lb >= totalBlocks())
+        fatal("DiskArray: unpin past end of array");
+    const PhysicalLoc loc = striping_.toPhysical(lb);
+    unpinOnDisk(loc.disk, loc.block);
+    if (mirrored_)
+        unpinOnDisk(loc.disk + striping_.disks(), loc.block);
+}
+
+void
 DiskArray::failDisk(unsigned d)
 {
-    ++faults_->counters().diskFailures;
+    ++faults_->hostCounters().diskFailures;
     if (!mirrored_)
         fatal("DiskArray: disk %u failed at tick %llu but the array "
               "is unmirrored; no redundancy exists to serve its "
@@ -316,7 +387,7 @@ DiskArray::repairDisk(unsigned d)
 {
     if (faults_->health(d) != DiskHealth::Dead)
         return;
-    ++faults_->counters().diskRepairs;
+    ++faults_->hostCounters().diskRepairs;
     faults_->setHealth(d, DiskHealth::Rebuilding);
 
     const FaultConfig& fc = faults_->config();
@@ -447,7 +518,7 @@ DiskArray::exportStats(stats::StatGroup& parent, Tick asOf) const
         .set(bus_.utilization(asOf ? asOf : eq_.now()));
 
     if (faults_) {
-        const FaultCounters& f = faults_->counters();
+        const FaultCounters f = faults_->totals();
         auto addU = [](stats::StatGroup& g, const char* name,
                        const char* desc, std::uint64_t v) {
             g.make<Scalar>(name, desc)

@@ -110,6 +110,25 @@ class DiskArray
     /** unpin_blk() routed to the owning disk. */
     bool unpinLogicalBlock(ArrayBlock lb);
 
+    /**
+     * Mid-run pin_blk(): the command crosses to the owning disk's
+     * timeline (both replicas when mirrored) after that controller's
+     * commandLatency(), like any other host->disk message, so it is
+     * legal under the sharded kernel's lookahead contract. The caller
+     * models HDC capacity host-side (see VictimHdcManager) — a
+     * shard-side pin failure is therefore a model bug and fatal()s.
+     */
+    void pinLogicalBlockDeferred(ArrayBlock lb);
+
+    /** Mid-run unpin_blk(); deferred like pinLogicalBlockDeferred(). */
+    void unpinLogicalBlockDeferred(ArrayBlock lb);
+
+    /**
+     * Modeled host->controller command latency (uniform across the
+     * array's identical controllers).
+     */
+    Tick commandLatency() const { return ctrls_[0]->commandLatency(); }
+
     /** flush_hdc() on every controller. @return media jobs queued. */
     std::uint64_t flushAllHdc();
 
@@ -162,7 +181,7 @@ class DiskArray
      */
     FaultCounters faultCounters() const
     {
-        return faults_ ? faults_->counters() : FaultCounters{};
+        return faults_ ? faults_->totals() : FaultCounters{};
     }
 
     /** Health of one physical disk (Alive when faults are off). */
@@ -222,6 +241,10 @@ class DiskArray
     void submitSub(unsigned disk, const SubRange& sr, bool is_write,
                    Pending* pending, bool degraded = false);
 
+    /** Post a deferred pin/unpin command to disk `d`'s timeline. */
+    void pinOnDisk(unsigned d, BlockNum b);
+    void unpinOnDisk(unsigned d, BlockNum b);
+
     /** The mirror partner of physical disk `d`. */
     unsigned partnerOf(unsigned d) const
     {
@@ -252,6 +275,9 @@ class DiskArray
      * being byte-identical to serial ones.
      */
     std::unique_ptr<SerialMergeLink> serialLink_;
+
+    /** The active link: the sharded kernel or serialLink_. */
+    ShardLink* link_ = nullptr;
 
     std::vector<std::unique_ptr<DiskController>> ctrls_;
 

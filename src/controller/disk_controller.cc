@@ -484,10 +484,28 @@ DiskController::onMediaDone(std::unique_ptr<MediaJob> job,
     }
 
     if (job->rebuild) {
-        // Rebuild traffic bypasses the host bus; hand the completion
-        // straight back to the array's rebuild chain.
-        if (job->req.onComplete)
-            job->req.onComplete(job->req, eq_.now());
+        // Rebuild traffic bypasses the host bus, but the completion
+        // chain runs host-side (the array submits the paired write or
+        // the next chunk from it), so it crosses back as an emission
+        // in canonical merged order.
+        if (job->req.onComplete) {
+            if (link_ && !link_->quiesced()) {
+                link_->emitToHost(
+                    diskId_, eq_.now(),
+                    [cb = std::move(job->req.onComplete),
+                     start = job->req.start, count = job->req.count,
+                     is_write = job->req.isWrite,
+                     when = eq_.now()]() mutable {
+                        IoRequest r;
+                        r.start = start;
+                        r.count = count;
+                        r.isWrite = is_write;
+                        cb(r, when);
+                    });
+            } else {
+                job->req.onComplete(job->req, eq_.now());
+            }
+        }
     } else if (job->background) {
         ++stats_.flushWrites;
     } else {
@@ -776,6 +794,26 @@ void
 DiskController::submitRebuild(BlockNum start, std::uint64_t count,
                               bool is_write,
                               IoRequest::Callback done)
+{
+    if (link_ && !link_->quiesced()) {
+        // Host context: the command crosses to this disk's timeline
+        // like any other submission. The job itself is built
+        // shard-side — the job pool is shard state.
+        link_->postToShard(
+            diskId_, link_->hostNow() + commandLatency(),
+            [this, start, count, is_write,
+             d = std::move(done)]() mutable {
+                enqueueRebuild(start, count, is_write, std::move(d));
+            });
+        return;
+    }
+    enqueueRebuild(start, count, is_write, std::move(done));
+}
+
+void
+DiskController::enqueueRebuild(BlockNum start, std::uint64_t count,
+                               bool is_write,
+                               IoRequest::Callback done)
 {
     auto job = allocJob();
     job->mediaStart = start;

@@ -167,10 +167,30 @@ class DiskController
      * Enqueue one mirror-rebuild media job over
      * [start, start+count). Rebuild traffic competes with foreground
      * I/O in the scheduler but bypasses the caches and the host bus;
-     * `done` fires when the media access completes.
+     * `done` fires when the media access completes, in host context
+     * (the completion crosses back over the link, merged in canonical
+     * order). Host context; the command reaches this disk's timeline
+     * after commandLatency() ticks.
      */
     void submitRebuild(BlockNum start, std::uint64_t count,
                        bool is_write, IoRequest::Callback done);
+
+    /**
+     * Modeled latency of a host->controller command (rebuild
+     * submission, mid-run HDC pin/unpin): the per-request overhead
+     * plus the HDC lookup charge when an HDC region exists. Equals
+     * the sharded kernel's lookahead floor, so a command issued from
+     * a host event at tick t lands at t + commandLatency() — a legal
+     * cross-shard arrival.
+     */
+    Tick
+    commandLatency() const
+    {
+        Tick l = params_.requestOverhead;
+        if (hdc_)
+            l += params_.hdcLookupOverhead;
+        return l;
+    }
 
     /**
      * pin_blk(): pin a block into the HDC region. This warm-start
@@ -259,6 +279,10 @@ class DiskController
 
     /** Queue a media job and start the mechanism if idle. */
     void enqueueMedia(std::unique_ptr<MediaJob> job);
+
+    /** Shard-side half of submitRebuild(): build + enqueue the job. */
+    void enqueueRebuild(BlockNum start, std::uint64_t count,
+                        bool is_write, IoRequest::Callback done);
 
     void tryStartMedia();
     void startMedia(std::unique_ptr<MediaJob> job);

@@ -225,7 +225,11 @@ writeStatsSnapshot(std::ostream& os, const DiskArray& array,
 {
     os << "# snapshot @" << now << " (" << toMillis(now) << " ms)\n";
     stats::StatGroup root("sim");
-    array.exportStats(root);
+    // Pin clock-derived ratios to the snapshot tick: under the
+    // sharded kernel the shard clocks sit just below the sync tick
+    // when a snapshot front event runs, so reading a live clock here
+    // would not reproduce the serial kernel's view.
+    array.exportStats(root, now);
     root.print(os);
     if (svc)
         svc->group.print(os, "sim.");

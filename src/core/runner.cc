@@ -38,29 +38,32 @@ resolveIntraJobs(unsigned requested)
 }
 
 /**
- * Why this configuration cannot run on the sharded kernel, or null
- * when it can. The sharded kernel requires all cross-disk coupling
- * to flow through the submit/complete messages; features that mutate
- * shard state from host context mid-run (or vice versa) fall back to
- * the serial kernel so results stay deterministic.
+ * Why this configuration cannot run on the sharded kernel -- every
+ * blocking reason at once, "; "-joined -- or empty when it can. This
+ * list is the single source of truth for DESIGN.md's fallback table.
+ *
+ * The sharded kernel requires all cross-disk coupling to flow through
+ * the ShardLink message discipline. Everything that once fell back --
+ * fault injection, mirroring, the victim-cache HDC policy, periodic
+ * snapshots -- now rides that discipline (per-disk fault counters,
+ * canonical replica merge ranks, deferred pin/unpin commands, and
+ * sync-tick front events respectively), so the only remaining blocker
+ * is an array too small to split.
  */
-const char*
-shardedUnsupported(const SystemConfig& cfg, const RunOptions& opts)
+std::string
+shardedUnsupported(const SystemConfig& cfg, const RunOptions&)
 {
+    std::vector<const char*> reasons;
     if (cfg.disks < 2)
-        return "a single-disk array has nothing to shard";
-    if (cfg.fault.enabled())
-        return "fault injection mutates cross-shard state mid-run";
-    if (cfg.hdcBytesPerDisk > 0 &&
-        cfg.hdcPolicy == HdcPolicy::VictimCache)
-        return "the victim-cache HDC policy issues mid-run pin/unpin "
-               "commands from host context";
-    if (cfg.mirrored)
-        return "mirrored fan-out orders replica pairs by send order, "
-               "which the per-shard merge cannot reproduce";
-    if (opts.statsIntervalTicks > 0 && opts.wantsStats())
-        return "periodic snapshots read disk-side counters mid-run";
-    return nullptr;
+        reasons.push_back("a single-disk array has nothing to shard");
+
+    std::string all;
+    for (const char* r : reasons) {
+        if (!all.empty())
+            all += "; ";
+        all += r;
+    }
+    return all;
 }
 
 /**
@@ -126,10 +129,11 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     unsigned jobs_intra = resolveIntraJobs(opts.jobsIntra);
     bool sharded = false;
     if (jobs_intra > 1) {
-        if (const char* why = shardedUnsupported(cfg, opts)) {
+        const std::string why = shardedUnsupported(cfg, opts);
+        if (!why.empty()) {
             warn("jobs-intra %u requested but %s; running the serial "
                  "kernel",
-                 jobs_intra, why);
+                 jobs_intra, why.c_str());
             jobs_intra = 1;
         } else {
             sharded = true;
@@ -211,14 +215,30 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     // Stamp scripted fault events (disk kill/repair/rebuild-done)
     // into the stats output as annotated snapshots, so a degraded
     // window can be located in the dump without the JSONL trace.
+    //
+    // The hook fires in host context, but the snapshot reads
+    // disk-side counters, which a sharded run's workers may still be
+    // mutating. The annotated snapshot is therefore deferred one
+    // command latency into a front event: the delay satisfies the
+    // lookahead contract for requestSyncAt(), and at the sync tick
+    // the workers are parked with every earlier message delivered.
+    // Serial runs take the identical deferral so the two kernels stay
+    // byte-identical.
     if (array.faultsEnabled() && stats_out) {
+        const Tick cmd_latency = array.commandLatency();
         array.setFaultEventHook(
-            [&stats_out, &array, &svc](const char* event,
-                                       unsigned disk, Tick now) {
-                stats_out.os() << "# fault event @" << now << ": "
-                               << event << " disk " << disk << "\n";
-                writeStatsSnapshot(stats_out.os(), array, svc.get(),
-                                   now);
+            [&, cmd_latency](const char* event, unsigned disk,
+                             Tick now) {
+                const Tick at = now + cmd_latency;
+                if (kernel)
+                    kernel->requestSyncAt(at);
+                eq.scheduleAtFront(at, [&, event, disk, now]() {
+                    stats_out.os() << "# fault event @" << now << ": "
+                                   << event << " disk " << disk
+                                   << "\n";
+                    writeStatsSnapshot(stats_out.os(), array,
+                                       svc.get(), eq.now());
+                });
             });
     }
 
@@ -243,12 +263,30 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
     }
 
     // Periodic snapshots and stream frames ride the simulation event
-    // queue; each chain stops re-arming once no work other than
-    // housekeeping is pending, so the chains never keep the queue
-    // alive by themselves -- or, crucially, each other (two chains
-    // that each re-armed on `!eq.empty()` would sustain one another
-    // forever once the real workload drained).
+    // queue as front events at absolute ticks: a front event at tick
+    // S runs before every normal tick-S event under both kernels, and
+    // a sharded run additionally requests a sync tick at S, which
+    // caps the lookahead window so the front event executes with the
+    // workers parked and every message below S delivered -- the exact
+    // state the serial kernel sees. One chain, both kernels, and the
+    // outputs byte-compare.
+    //
+    // Each chain stops re-arming once no work other than housekeeping
+    // is pending, so the chains never keep the queue alive by
+    // themselves -- or, crucially, each other (two chains that each
+    // re-armed on `!empty()` would sustain one another forever once
+    // the real workload drained). Under the sharded kernel "pending"
+    // must count every timeline, not just the host queue, hence
+    // pendingAll().
     std::size_t housekeeping = 0;
+    const auto pendingWork = [&]() -> std::size_t {
+        return sharded ? kernel->pendingAll() : eq.pending();
+    };
+    const auto armAt = [&](Tick at, const std::function<void()>& fn) {
+        if (kernel)
+            kernel->requestSyncAt(at);
+        eq.scheduleAtFront(at, fn);
+    };
     std::function<void()> snapshot;
     if (opts.statsIntervalTicks > 0 && opts.wantsStats()) {
         snapshot = [&]() {
@@ -256,45 +294,33 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
             if (stats_out)
                 writeStatsSnapshot(stats_out.os(), array, svc.get(),
                                    eq.now());
-            if (eq.pending() > housekeeping) {
+            if (pendingWork() > housekeeping) {
                 ++housekeeping;
-                eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
+                armAt(eq.now() + opts.statsIntervalTicks, snapshot);
             }
         };
         ++housekeeping;
-        eq.scheduleAfter(opts.statsIntervalTicks, snapshot);
+        armAt(opts.statsIntervalTicks, snapshot);
     }
 
-    // Stream frames: serial runs chain them on the event queue like
-    // snapshots; sharded runs emit them at window barriers, where the
-    // workers are parked and shard counters are coherent. Either way
-    // the frame cadence is wall-of-simulated-time, not exact -- the
-    // stream is volatile output.
+    // Stream frames chain exactly like snapshots; with both kernels
+    // emitting at the same sync ticks the frame sequence is itself
+    // deterministic (only the "# runtime:"-style trailer diverges).
     std::function<void()> stream_tick;
     bool stream_chained = false;
-    if (stream_out && !sharded) {
+    if (stream_out) {
         stream_chained = true;
         stream_tick = [&]() {
             --housekeeping;
             writeStatsFrame(stream_out.os(), array, svc.get(),
                             eq.now(), stream_seq++, false);
-            if (eq.pending() > housekeeping) {
+            if (pendingWork() > housekeeping) {
                 ++housekeeping;
-                eq.scheduleAfter(stream_interval, stream_tick);
+                armAt(eq.now() + stream_interval, stream_tick);
             }
         };
         ++housekeeping;
-        eq.scheduleAfter(stream_interval, stream_tick);
-    }
-    if (stream_out && sharded) {
-        kernel->setBarrierHook(
-            [&, next = stream_interval](Tick origin) mutable {
-                if (origin < next || origin == kTickMax)
-                    return;
-                writeStatsFrame(stream_out.os(), array, svc.get(),
-                                origin, stream_seq++, false);
-                next = origin + stream_interval;
-            });
+        armAt(stream_interval, stream_tick);
     }
 
     const auto wall_begin = std::chrono::steady_clock::now();
@@ -305,7 +331,7 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
         if (engine.start())
             kernel->run();
         io_time = engine.finish();
-        post_drain = io_time;
+        post_drain = kernel->maxNow();
     } else {
         io_time = engine.run();
         post_drain = eq.now();
@@ -313,30 +339,33 @@ runTrace(const SystemConfig& cfg, const Trace& trace,
 
     Tick flush_time = 0;
     if (cfg.hdcBytesPerDisk > 0 && cfg.flushHdcAtEnd) {
+        Tick end;
         if (sharded) {
-            // Align every shard clock to the end of I/O first so the
+            // Align every shard clock to the drained end first so the
             // flush jobs see the same start time (and thus platter
-            // angle) as under the serial kernel; the flush itself has
-            // no cross-disk interaction, so a plain drain suffices.
-            kernel->alignNow(io_time);
+            // angle) as under the serial kernel, whose single clock
+            // sits at post_drain when the flush begins; the flush
+            // itself has no cross-disk interaction, so a plain drain
+            // suffices.
+            kernel->alignNow(post_drain);
             array.flushAllHdc();
             kernel->drainSerial();
-            const Tick end = kernel->maxNow();
-            flush_time = end > io_time ? end - io_time : 0;
+            end = kernel->maxNow();
         } else {
             array.flushAllHdc();
             eq.run();
-            // A trailing snapshot or stream-frame event may have
-            // advanced the clock past the last completion before the
-            // flush began; charge the flush window from there so it
-            // is not inflated (with both off, base == io_time and the
-            // result is identical to a run without observability).
-            const Tick base =
-                (opts.statsIntervalTicks > 0 || stream_chained)
-                    ? std::max(io_time, post_drain)
-                    : io_time;
-            flush_time = eq.now() > base ? eq.now() - base : 0;
+            end = eq.now();
         }
+        // A trailing snapshot or stream-frame event may have advanced
+        // the clock past the last completion before the flush began;
+        // charge the flush window from there so it is not inflated
+        // (with both off, base == io_time and the result is identical
+        // to a run without observability).
+        const Tick base =
+            (opts.statsIntervalTicks > 0 || stream_chained)
+                ? std::max(io_time, post_drain)
+                : io_time;
+        flush_time = end > base ? end - base : 0;
     }
     if (sharded) {
         // Bring every timeline to the common end so any clock-derived

@@ -48,10 +48,10 @@ struct RunOptions
 
     /**
      * Live stat streaming: periodically append a framed snapshot to
-     * a file/FIFO for `tail -f`. Serial runs emit frames from the
-     * event queue; sharded runs emit them at window barriers, so
-     * streaming (unlike dump snapshots) never forces the serial
-     * kernel. Volatile output -- frame cadence is kernel-dependent.
+     * a file/FIFO for `tail -f`. Both kernels emit frames from the
+     * same front-event chain at the same absolute ticks (sharded runs
+     * sync the shards at each frame tick), so the frame sequence is
+     * deterministic up to the volatile "# runtime:"-style trailers.
      */
     StatsStreamConfig statsStream;
 
@@ -68,9 +68,11 @@ struct RunOptions
     /**
      * Emit a periodic stats snapshot every this many ticks of
      * simulated time (0 = final dump only). Snapshots go to the
-     * stats file/stream. The snapshot events ride the simulation
-     * event queue, so the reported HDC flush window can stretch by
-     * up to one interval; all other results are unaffected.
+     * stats file/stream and work identically under both kernels: the
+     * snapshot events ride the simulation event queue as front events
+     * at absolute ticks (sync ticks when sharded). The reported HDC
+     * flush window can stretch by up to one interval; all other
+     * results are unaffected.
      */
     Tick statsIntervalTicks = 0;
 
@@ -88,9 +90,10 @@ struct RunOptions
      * 1 = the serial kernel (the default); 0 = DTSIM_JOBS_INTRA or,
      * failing that, the hardware thread count. Composes with the
      * sweep-level --jobs parallelism. Results are tick-identical to
-     * the serial kernel; configurations the sharded kernel cannot
-     * split deterministically (faults, victim-cache HDC, periodic
-     * snapshots, mirroring) fall back to serial with a warning.
+     * the serial kernel -- including fault injection, mirroring, the
+     * victim-cache HDC policy, and periodic snapshots, which all ride
+     * the ShardLink message discipline; only a single-disk array
+     * falls back to serial (with a warning listing every blocker).
      * Execution-only: never recorded in dumps or config headers.
      */
     unsigned jobsIntra = 1;

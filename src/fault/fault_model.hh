@@ -34,6 +34,13 @@ namespace dtsim {
 /**
  * Every fault and recovery action, counted once array-wide. Exported
  * as the sim.fault.* StatGroup (names match the fields verbatim).
+ *
+ * Ownership is split along timeline lines so sharded runs need no
+ * synchronisation: media/retry/remap/stall/rebuild-job counters are
+ * written by a disk's own timeline (each DiskFaults gets a private
+ * instance), while kill/repair/degraded-routing counters are written
+ * by host-side code (FaultModel::hostCounters()). The array-wide view
+ * is the sum, see FaultModel::totals().
  */
 struct FaultCounters
 {
@@ -64,6 +71,26 @@ struct FaultCounters
                diskRepairs || degradedReads || degradedWrites ||
                rebuildJobs;
     }
+
+    /** Accumulate another set of counters into this one. */
+    void
+    add(const FaultCounters& o)
+    {
+        mediaErrors += o.mediaErrors;
+        retries += o.retries;
+        retryTicks += o.retryTicks;
+        remapEvents += o.remapEvents;
+        remappedBlocks += o.remappedBlocks;
+        remappedAccesses += o.remappedAccesses;
+        stalls += o.stalls;
+        stallTicks += o.stallTicks;
+        diskFailures += o.diskFailures;
+        diskRepairs += o.diskRepairs;
+        degradedReads += o.degradedReads;
+        degradedWrites += o.degradedWrites;
+        rebuildJobs += o.rebuildJobs;
+        rebuildBlocks += o.rebuildBlocks;
+    }
 };
 
 /** Health of one physical disk. */
@@ -75,8 +102,10 @@ enum class DiskHealth
 };
 
 /**
- * Per-disk fault state consulted by that disk's controller. Shares
- * the array-wide FaultCounters owned by the FaultModel.
+ * Per-disk fault state consulted by that disk's controller. Writes
+ * the caller-provided FaultCounters; the FaultModel hands every disk
+ * a private instance so the disk's own timeline can update them with
+ * no cross-shard synchronisation.
  */
 class DiskFaults
 {
@@ -128,7 +157,7 @@ class DiskFaults
      */
     Tick dispatchDelay(Tick now);
 
-    /** The shared array-wide counters. */
+    /** This disk's counters (disk-timeline context). */
     FaultCounters&
     counters()
     {
@@ -146,8 +175,8 @@ class DiskFaults
 };
 
 /**
- * Array-wide fault state: one DiskFaults per physical disk, the disk
- * health map, and the shared counters.
+ * Array-wide fault state: one DiskFaults per physical disk (each with
+ * its own counters), the disk health map, and the host-side counters.
  */
 class FaultModel
 {
@@ -178,21 +207,34 @@ class FaultModel
         health_[d] = h;
     }
 
+    /**
+     * Host-context counters: kill/repair events and degraded read/
+     * write routing. Never touched by disk timelines.
+     */
     FaultCounters&
-    counters()
+    hostCounters()
     {
-        return counters_;
+        return hostCounters_;
     }
 
+    /** Counters private to disk `d` (written by its timeline only). */
     const FaultCounters&
-    counters() const
+    diskCounters(unsigned d) const
     {
-        return counters_;
+        return *diskCounters_[d];
     }
+
+    /**
+     * Array-wide totals: hostCounters() plus every disk's private
+     * counters. Coherent only from host context with the disk
+     * timelines settled — a sync-tick front event or post-run.
+     */
+    FaultCounters totals() const;
 
   private:
     FaultConfig cfg_;
-    FaultCounters counters_;
+    FaultCounters hostCounters_;
+    std::vector<std::unique_ptr<FaultCounters>> diskCounters_;
     std::vector<std::unique_ptr<DiskFaults>> disks_;
     std::vector<DiskHealth> health_;
 };

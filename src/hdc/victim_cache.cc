@@ -6,10 +6,30 @@ namespace dtsim {
 
 VictimHdcManager::VictimHdcManager(DiskArray& array,
                                    std::uint64_t ghost_blocks)
-    : array_(array), ghostCapacity_(ghost_blocks)
+    : array_(array), ghostCapacity_(ghost_blocks),
+      capacityBlocks_(array.controller(0).hdcCapacityBlocks()),
+      pinnedPerDisk_(array.striping().disks(), 0)
 {
     if (ghost_blocks == 0)
         fatal("VictimHdcManager: ghost cache must be > 0 blocks");
+}
+
+unsigned
+VictimHdcManager::diskOf(ArrayBlock block) const
+{
+    return array_.striping().toPhysical(block).disk;
+}
+
+void
+VictimHdcManager::retireOldest()
+{
+    const ArrayBlock old = pinFifo_.front();
+    pinFifo_.pop_front();
+    pinnedSet_.erase(old);
+    --pinnedPerDisk_[diskOf(old)];
+    --fifoSize_;
+    array_.unpinLogicalBlockDeferred(old);
+    ++unpins_;
 }
 
 void
@@ -17,23 +37,25 @@ VictimHdcManager::pinVictim(ArrayBlock block)
 {
     if (pinnedSet_.count(block))
         return;
-    // Make room: retire the oldest victims until a pin succeeds.
-    while (!array_.pinLogicalBlock(block)) {
+    if (capacityBlocks_ == 0)
+        return;   // No HDC budget: nothing ever pins.
+    const unsigned disk = diskOf(block);
+    // Make room: retire the globally oldest victims until the owning
+    // disk's region has a free slot. (The oldest victim may live on
+    // another disk — that matches the synchronous retry loop this
+    // replaced, which also evicted global-FIFO order.)
+    while (pinnedPerDisk_[disk] >= capacityBlocks_) {
         // Skip stale FIFO entries (already unpinned on re-access).
         while (!pinFifo_.empty() &&
                !pinnedSet_.count(pinFifo_.front()))
             pinFifo_.pop_front();
-        if (pinFifo_.empty())
-            return;   // No capacity at all (budget zero).
-        const ArrayBlock old = pinFifo_.front();
-        pinFifo_.pop_front();
-        pinnedSet_.erase(old);
-        --fifoSize_;
-        array_.unpinLogicalBlock(old);
-        ++unpins_;
+        // A full disk always has a live pinned entry in the FIFO.
+        retireOldest();
     }
+    array_.pinLogicalBlockDeferred(block);
     pinFifo_.push_back(block);
     pinnedSet_.insert(block);
+    ++pinnedPerDisk_[disk];
     ++fifoSize_;
     ++pins_;
 }
@@ -66,8 +88,9 @@ VictimHdcManager::onAccess(ArrayBlock start, std::uint64_t count)
         auto pin_it = pinnedSet_.find(b);
         if (pin_it != pinnedSet_.end()) {
             pinnedSet_.erase(pin_it);
+            --pinnedPerDisk_[diskOf(b)];
             --fifoSize_;
-            array_.unpinLogicalBlock(b);
+            array_.unpinLogicalBlockDeferred(b);
             ++unpins_;
         }
         ghostInsert(b);

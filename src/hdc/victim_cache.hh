@@ -10,6 +10,16 @@
  * the region is full); when the host re-reads a pinned block, the
  * controller serves it (a victim hit) and the host unpins it, since
  * the block now lives in the buffer cache again.
+ *
+ * The manager runs host-side and its pin/unpin commands cross to the
+ * disk timelines as deferred messages (DiskArray::*Deferred), so it
+ * cannot observe a pin's success synchronously. Instead it models
+ * each disk's HDC capacity itself: a per-logical-disk pinned count
+ * against the (uniform) controller capacity reproduces, step for
+ * step, the retire-oldest-until-the-pin-sticks loop the synchronous
+ * API allowed — the command stream and every counter are unchanged,
+ * only the controller-side application of each command now lands
+ * commandLatency() ticks later, identically under both kernels.
  */
 
 #ifndef DTSIM_HDC_VICTIM_CACHE_HH
@@ -20,6 +30,7 @@
 #include <list>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "array/disk_array.hh"
 
@@ -53,8 +64,20 @@ class VictimHdcManager
     /** Park an evicted block in its controller's HDC region. */
     void pinVictim(ArrayBlock block);
 
+    /** Logical disk owning `block` (replicas pin in lockstep). */
+    unsigned diskOf(ArrayBlock block) const;
+
+    /** Drop the oldest live victim and issue its deferred unpin. */
+    void retireOldest();
+
     DiskArray& array_;
     std::uint64_t ghostCapacity_;
+
+    /** Per-disk HDC region capacity (uniform controllers). */
+    std::uint64_t capacityBlocks_;
+
+    /** Host-side model of each logical disk's pinned population. */
+    std::vector<std::uint64_t> pinnedPerDisk_;
 
     std::list<ArrayBlock> ghostLru_;   ///< Front = most recent.
     std::unordered_map<ArrayBlock, std::list<ArrayBlock>::iterator>

@@ -108,7 +108,7 @@ EventQueue::heapPopFront()
 }
 
 EventQueue::EventId
-EventQueue::scheduleImpl(Tick when, Callback&& cb)
+EventQueue::scheduleImpl(Tick when, Callback&& cb, bool front)
 {
     if (when < now_) {
 #ifdef DTSIM_DEBUG_PAST_SCHEDULE
@@ -123,7 +123,9 @@ EventQueue::scheduleImpl(Tick when, Callback&& cb)
         throw std::logic_error("EventQueue: scheduling in the past");
     }
     const std::uint32_t slot = allocSlot(std::move(cb));
-    heapPush(Node{when, nextSeq_++, slot});
+    const std::uint64_t seq =
+        front ? nextFrontSeq_++ : (kNormalSeqBit | nextSeq_++);
+    heapPush(Node{when, seq, slot});
     ++size_;
     return makeEventId(slots_[slot].gen, slot);
 }
@@ -131,13 +133,19 @@ EventQueue::scheduleImpl(Tick when, Callback&& cb)
 EventQueue::EventId
 EventQueue::scheduleAt(Tick when, Callback cb)
 {
-    return scheduleImpl(when, std::move(cb));
+    return scheduleImpl(when, std::move(cb), false);
 }
 
 EventQueue::EventId
 EventQueue::scheduleAfter(Tick delay, Callback cb)
 {
-    return scheduleImpl(now_ + delay, std::move(cb));
+    return scheduleImpl(now_ + delay, std::move(cb), false);
+}
+
+EventQueue::EventId
+EventQueue::scheduleAtFront(Tick when, Callback cb)
+{
+    return scheduleImpl(when, std::move(cb), true);
 }
 
 bool

@@ -75,6 +75,19 @@ class EventQueue
     EventId scheduleAfter(Tick delay, Callback cb);
 
     /**
+     * Schedule a callback at an absolute tick, ahead of every normal
+     * event at that tick. Front events fire in their own FIFO order
+     * before any scheduleAt()/scheduleAfter() event with the same
+     * `when`, regardless of scheduling order. Used for window-barrier
+     * housekeeping (periodic snapshots, stream frames) that must
+     * observe the state *before* the tick's simulation work runs —
+     * the sharded kernel reaches the same pre-tick state at a window
+     * barrier, so front events are the one placement where both
+     * kernels read identical counters.
+     */
+    EventId scheduleAtFront(Tick when, Callback cb);
+
+    /**
      * Cancel a previously scheduled event.
      *
      * @return true if the event was pending and is now cancelled;
@@ -152,11 +165,20 @@ class EventQueue
     {
         Tick when;
 
-        /** Global schedule order; ties at `when` fire in seq order. */
+        /**
+         * Tie-break at equal `when`. Normal events carry bit 63 set
+         * over a global schedule counter; front events carry a
+         * separate low counter with bit 63 clear, so every front
+         * event sorts before every normal event at the same tick
+         * while each class stays FIFO within itself.
+         */
         std::uint64_t seq;
 
         std::uint32_t slot;
     };
+
+    /** Seq-space tag separating normal events from front events. */
+    static constexpr std::uint64_t kNormalSeqBit = 1ull << 63;
 
     static bool
     before(const Node& a, const Node& b)
@@ -166,7 +188,7 @@ class EventQueue
         return a.seq < b.seq;
     }
 
-    EventId scheduleImpl(Tick when, Callback&& cb);
+    EventId scheduleImpl(Tick when, Callback&& cb, bool front);
 
     std::uint32_t allocSlot(Callback&& cb);
     void releaseSlot(std::uint32_t index);
@@ -191,6 +213,7 @@ class EventQueue
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
+    std::uint64_t nextFrontSeq_ = 1;
     std::size_t size_ = 0;
     std::uint64_t fired_ = 0;
 };

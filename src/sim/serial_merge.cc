@@ -26,11 +26,11 @@ SerialMergeLink::flush()
     flushScheduled_ = false;
     batch_.clear();
     batch_.swap(pending_);
-    // Canonical cross-disk order at a tick: lowest disk first, FIFO
-    // within a disk -- exactly ShardedKernel::runHostMerged().
+    // Canonical cross-disk order at a tick: lowest merge rank first,
+    // FIFO within a disk -- exactly ShardedKernel::runHostMerged().
     std::stable_sort(batch_.begin(), batch_.end(),
-                     [](const Pending& a, const Pending& b) {
-                         return a.disk < b.disk;
+                     [this](const Pending& a, const Pending& b) {
+                         return mergeRank(a.disk) < mergeRank(b.disk);
                      });
     for (Pending& p : batch_)
         p.fn();

@@ -13,15 +13,21 @@
  *    (tick, disk, FIFO) merge order.
  *
  * Both orders are identical by construction: same-tick cross-disk
- * actions execute lowest-disk-first, preserving each disk's FIFO
- * order, with plain host events winning ties. That shared discipline
- * is what makes sharded runs byte-identical to serial ones -- the
- * serial kernel does not get to use its (thread-unreproducible)
- * global event insertion order as a tie-break across disks.
+ * actions execute in canonical merge-rank order (the identity — the
+ * physical disk index — unless the array installs another), preserving
+ * each disk's FIFO order, with plain host events winning ties. That
+ * shared discipline is what makes sharded runs byte-identical to
+ * serial ones -- the serial kernel does not get to use its
+ * (thread-unreproducible) global event insertion order as a tie-break
+ * across disks. Mirrored arrays install a (logical disk, replica)
+ * rank so replica pairs merge in logical order regardless of how the
+ * replicas are numbered physically.
  */
 
 #ifndef DTSIM_SIM_SHARD_LINK_HH
 #define DTSIM_SIM_SHARD_LINK_HH
+
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/small_function.hh"
@@ -36,6 +42,17 @@ class ShardLink
     using HostFn = SmallFunction<void(), 192>;
 
     virtual ~ShardLink() = default;
+
+    /**
+     * Install the canonical same-tick merge order: ranks[s] is disk
+     * timeline s's position in cross-disk tie-breaks (lower runs
+     * first). Defaults to the identity. Must be set before the run
+     * starts; both link implementations honour it identically.
+     */
+    void setMergeRanks(std::vector<unsigned> ranks)
+    {
+        mergeRanks_ = std::move(ranks);
+    }
 
     /** Current host time (valid from host context). */
     virtual Tick hostNow() const = 0;
@@ -63,6 +80,17 @@ class ShardLink
      * in canonical (tick, disk, FIFO) order, host events first.
      */
     virtual void emitToHost(unsigned s, Tick when, HostFn fn) = 0;
+
+  protected:
+    /** Merge rank of disk timeline `s` (identity when unset). */
+    unsigned
+    mergeRank(unsigned s) const
+    {
+        return s < mergeRanks_.size() ? mergeRanks_[s] : s;
+    }
+
+  private:
+    std::vector<unsigned> mergeRanks_;
 };
 
 } // namespace dtsim

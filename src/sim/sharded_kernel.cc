@@ -112,17 +112,34 @@ unsigned
 ShardedKernel::earliestStaged(Tick& when) const
 {
     unsigned best = static_cast<unsigned>(shards_.size());
+    unsigned best_rank = 0;
     Tick best_when = kTickMax;
     for (unsigned s = 0; s < shards_.size(); ++s) {
         const Shard& sh = *shards_[s];
-        if (sh.stagedHead < sh.staged.size() &&
-            sh.staged[sh.stagedHead].when < best_when) {
-            best_when = sh.staged[sh.stagedHead].when;
+        if (sh.stagedHead >= sh.staged.size())
+            continue;
+        const Tick w = sh.staged[sh.stagedHead].when;
+        const unsigned r = mergeRank(s);
+        if (w < best_when || (w == best_when && r < best_rank)) {
+            best_when = w;
+            best_rank = r;
             best = s;
         }
     }
     when = best_when;
     return best;
+}
+
+std::size_t
+ShardedKernel::pendingAll() const
+{
+    std::size_t n = host_.pending();
+    for (const std::unique_ptr<Shard>& p : shards_) {
+        const Shard& sh = *p;
+        n += sh.q.pending() + sh.inbox.size() + sh.outbox.size() +
+             (sh.staged.size() - sh.stagedHead);
+    }
+    return n;
 }
 
 void
@@ -144,6 +161,12 @@ ShardedKernel::runHostMerged(Tick bound)
         }
         Shard& sh = *shards_[es];
         Emission e = std::move(sh.staged[sh.stagedHead++]);
+        // The host clock must read the emission's tick while the
+        // callback runs: callbacks that re-submit (rebuild chunk
+        // chains) compute crossing ticks from hostNow(), exactly as
+        // the serial flusher runs them with q.now() at the emission
+        // tick.
+        host_.advanceTo(e.when);
         e.fn();
     }
 }
@@ -159,11 +182,14 @@ ShardedKernel::forcedStep()
     const unsigned es = earliestStaged(ew);
     Tick emin = kTickMax;
     unsigned smin = 0;
+    unsigned smin_rank = 0;
     for (unsigned s = 0; s < shards_.size(); ++s) {
         const Tick t = shards_[s]->q.nextTime();
-        if (t < emin) {
+        const unsigned r = mergeRank(s);
+        if (t < emin || (t == emin && t != kTickMax && r < smin_rank)) {
             emin = t;
             smin = s;
+            smin_rank = r;
         }
     }
     if (he <= ew && he <= emin) {
@@ -171,6 +197,7 @@ ShardedKernel::forcedStep()
     } else if (ew <= emin) {
         Shard& sh = *shards_[es];
         Emission e = std::move(sh.staged[sh.stagedHead++]);
+        host_.advanceTo(e.when); // see runHostMerged
         e.fn();
     } else {
         shards_[smin]->q.step();
@@ -204,12 +231,20 @@ ShardedKernel::run()
         // run past the earliest shard event, whose emissions it must
         // merge in tick order.
         const Tick h = std::min(host_next, staged_next);
-        // Workers are parked between rounds: the barrier hook may
-        // read shard-side state (live stat streaming) race-free.
-        if (barrierHook_)
-            barrierHook_(std::min(h, emin));
+        const Tick origin = std::min(h, emin);
+
+        // Sync-tick caps: a requested tick S holds every shard below
+        // S until the work before S drains; the host front event at S
+        // then executes via forcedStep with workers parked (host wins
+        // ties). A request is spent once the origin moves past it —
+        // the origin is nondecreasing, so nothing can land before it
+        // again.
+        while (!syncAt_.empty() && syncAt_.top() < origin)
+            syncAt_.pop();
+        const Tick sync = syncAt_.empty() ? kTickMax : syncAt_.top();
+
         const Tick shard_bound =
-            satAdd(std::min(h, emin), lookahead_);
+            std::min(satAdd(origin, lookahead_), sync);
         const Tick host_bound = std::min(emin, shard_bound);
 
         const bool shard_work = emin < shard_bound;

@@ -38,9 +38,9 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -139,19 +139,27 @@ class ShardedKernel final : public ShardLink
     std::uint64_t rounds() const { return rounds_; }
 
     /**
-     * Install a hook run by the coordinator at every window barrier,
-     * with all workers parked — the one point mid-run where host and
-     * shard state may be read coherently (the round mutex hand-off
-     * orders every shard write before the hook). The argument is the
-     * round's window origin (the earliest pending tick anywhere).
-     * Used for live stat streaming; keep it cheap, it is on the
-     * round path.
+     * Request a coherent read point at absolute tick `at`: no shard
+     * advances to or past `at` until every timeline's work before
+     * `at` has completed, so a host event scheduled at `at` with
+     * EventQueue::scheduleAtFront() executes with all workers parked
+     * and all earlier state settled — the one placement where host
+     * code may read shard-side counters race-free mid-run. Host
+     * context only (between rounds, or from a host event at tick t
+     * with `at` >= t + lookahead(), which the current round's shard
+     * bound cannot reach). Used for periodic snapshots, stream
+     * frames, and fault-event reporting.
      */
-    void
-    setBarrierHook(std::function<void(Tick)> fn)
-    {
-        barrierHook_ = std::move(fn);
-    }
+    void requestSyncAt(Tick at) { syncAt_.push(at); }
+
+    /**
+     * Pending items across every timeline and message buffer. From a
+     * sync-tick front event this equals what the serial kernel's
+     * single queue would report, so housekeeping chains can make
+     * identical re-arm decisions on both kernels. Host context only,
+     * with workers parked.
+     */
+    std::size_t pendingAll() const;
 
   private:
     struct Emission
@@ -205,8 +213,9 @@ class ShardedKernel final : public ShardLink
     std::uint64_t nextArrivalSeq_ = 0;
     std::uint64_t rounds_ = 0;
 
-    /** Coordinator-only; run at each window barrier when set. */
-    std::function<void(Tick)> barrierHook_;
+    /** Outstanding sync-tick requests (coordinator-only). */
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
+        syncAt_;
     bool quiesced_ = false;
 
     // Round barrier. The coordinator publishes a new round_ with a

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -262,6 +263,73 @@ TEST(EventQueue, CancelFromInsideCallback)
     eq.run();
     EXPECT_FALSE(late_fired);
     EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, FrontEventsRunBeforeNormalSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(10, [&] { order.push_back(2); });
+    // Scheduled last, but the front class beats every normal event
+    // at the same tick.
+    eq.scheduleAtFront(10, [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, FrontEventsAreFifoWithinTheirClass)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleAtFront(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, FrontEventsDoNotPerturbNormalOrder)
+{
+    // The front class must not disturb the relative order of normal
+    // events -- existing goldens depend on schedule-order FIFO.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(5, [&] { order.push_back(10); });
+    eq.scheduleAtFront(5, [&] { order.push_back(0); });
+    eq.scheduleAt(5, [&] { order.push_back(11); });
+    eq.scheduleAtFront(5, [&] { order.push_back(1); });
+    eq.scheduleAt(5, [&] { order.push_back(12); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11, 12}));
+}
+
+TEST(EventQueue, FrontEventsOrderedAcrossTicks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAtFront(20, [&] { order.push_back(2); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAtFront(5, [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, FrontEventCanScheduleMoreFrontEvents)
+{
+    // The snapshot/stream chains re-arm themselves from inside their
+    // own front event.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    std::function<void()> chain = [&] {
+        fired.push_back(eq.now());
+        if (eq.pending() > 0)
+            eq.scheduleAtFront(eq.now() + 10, chain);
+    };
+    eq.scheduleAt(35, [] {});
+    eq.scheduleAtFront(10, chain);
+    eq.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30, 40}));
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

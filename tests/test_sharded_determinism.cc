@@ -3,7 +3,10 @@
  * Sharded-vs-serial determinism: running the same configuration on
  * the sharded kernel (--jobs-intra 2 and 4) must produce stats dumps
  * and request traces byte-identical to the serial kernel, across the
- * figure-7..12 system shapes and the ablation-style variants.
+ * figure-7..12 system shapes, the ablation-style variants, and every
+ * coupling that used to force the serial fallback: fault injection
+ * (kill/repair/rebuild and media errors), mirroring, the victim-cache
+ * HDC policy, and periodic snapshots / stream frames.
  *
  * The only line allowed to differ is the volatile "# runtime:" header
  * (wall clock and events/sec), which is stripped before comparing.
@@ -13,6 +16,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -47,6 +51,9 @@ struct DeterminismCase
     SimulationConfig sim;
     Experiment built;
 
+    /** Extra per-run options (snapshots, streaming, ...). */
+    std::function<void(Experiment&)> tweak;
+
     explicit DeterminismCase(SimulationConfig s)
         : sim(std::move(s)), built(sim)
     {
@@ -64,6 +71,8 @@ struct DeterminismCase
         e.statsTo(StatsSink::stream(os)).jobsIntra(jobs_intra);
         if (!trace_path.empty())
             e.traceTo(trace_path);
+        if (tweak)
+            tweak(e);
         e.run();
         return stripRuntime(os.str());
     }
@@ -181,14 +190,124 @@ TEST(ShardedDeterminism, RequestTracesAreByteIdentical)
     std::remove(p4.c_str());
 }
 
-TEST(ShardedDeterminism, MirroredFallsBackToSerial)
+// --- Former serial fallbacks, now sharded via the ShardLink message
+// --- discipline (PR "full-coverage sharded kernel"). Each suite
+// --- byte-compares the serial dump against jobs-intra 2 and 4.
+
+TEST(ShardedDeterminism, MirroredWebStriping)
 {
-    // Mirrored fan-out is one of the documented serial fallbacks: a
-    // jobs-intra request must warn, run serial, and match exactly.
+    // Mirrored fan-out used to fall back to serial; the canonical
+    // (tick, logical disk, replica) merge rank order now makes the
+    // replica-pair completion order kernel-independent.
     SimulationConfig sim = webConfig(SystemKind::Segm, 16 * kKiB, 0);
     sim.system.mirrored = true;
     DeterminismCase c(std::move(sim));
-    EXPECT_EQ(c.dump(2), c.dump(1));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, MirroredForHdc)
+{
+    SimulationConfig sim =
+        webConfig(SystemKind::FOR, 64 * kKiB, 2 * kMiB);
+    sim.system.mirrored = true;
+    DeterminismCase c(std::move(sim));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, FaultKillRepairRebuild)
+{
+    // Scripted kill -> degraded reads -> repair -> rebuild traffic,
+    // with fault-event snapshots stamped into the dump. Exercises the
+    // per-disk fault counters, the host-side health routing, and the
+    // deferred rebuild submissions.
+    SimulationConfig sim = webConfig(SystemKind::Segm, 16 * kKiB, 0);
+    sim.system.mirrored = true;
+    sim.system.fault.killAtTicks = 1 * kMsec;
+    sim.system.fault.killDisk = 1;
+    sim.system.fault.repairAtTicks = 500 * kMsec;
+    sim.system.fault.rebuildBlocks = 512;
+    DeterminismCase c(std::move(sim));
+    const std::string serial = c.dump(1);
+    ASSERT_NE(serial.find("# fault event @"), std::string::npos);
+    ASSERT_NE(serial.find("sim.io_time_ms"), std::string::npos);
+    EXPECT_EQ(c.dump(2), serial) << "jobs-intra 2 diverged";
+    EXPECT_EQ(c.dump(4), serial) << "jobs-intra 4 diverged";
+}
+
+TEST(ShardedDeterminism, FaultMediaErrors)
+{
+    // Probabilistic media errors + scripted bad blocks: retries,
+    // remaps, and penalties all live shard-side in per-disk counters
+    // and per-disk RNG streams.
+    SimulationConfig sim =
+        webConfig(SystemKind::FOR, 64 * kKiB, 2 * kMiB);
+    sim.system.fault.mediaErrorRate = 0.02;
+    sim.system.fault.badBlocks = "0:7,2:21";
+    DeterminismCase c(std::move(sim));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, VictimCacheHdc)
+{
+    // The victim-cache HDC policy issues mid-run pin/unpin commands
+    // from host context; they now cross to the disk timelines as
+    // deferred messages under both kernels.
+    SimulationConfig sim =
+        webConfig(SystemKind::Segm, 32 * kKiB, 2 * kMiB);
+    sim.system.hdcPolicy = HdcPolicy::VictimCache;
+    sim.system.victimGhostBlocks = 256;
+    DeterminismCase c(std::move(sim));
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, PeriodicSnapshots)
+{
+    // --stats-interval snapshots: front events at absolute ticks,
+    // sync ticks under the sharded kernel. The snapshot bodies (which
+    // read every disk-side counter mid-run) must byte-compare.
+    DeterminismCase c(webConfig(SystemKind::Segm, 16 * kKiB, 0));
+    c.tweak = [](Experiment& e) { e.statsEvery(200 * kMsec); };
+    const std::string serial = c.dump(1);
+    ASSERT_NE(serial.find("# snapshot @"), std::string::npos);
+    EXPECT_EQ(c.dump(2), serial) << "jobs-intra 2 diverged";
+    EXPECT_EQ(c.dump(4), serial) << "jobs-intra 4 diverged";
+}
+
+TEST(ShardedDeterminism, SnapshotsDuringFaultsAndMirroring)
+{
+    // Everything at once: a degraded mirrored run with periodic
+    // snapshots layered over the fault-event snapshots.
+    SimulationConfig sim = webConfig(SystemKind::Segm, 16 * kKiB, 0);
+    sim.system.mirrored = true;
+    sim.system.fault.killAtTicks = 1 * kMsec;
+    sim.system.fault.killDisk = 1;
+    sim.system.fault.repairAtTicks = 500 * kMsec;
+    sim.system.fault.rebuildBlocks = 256;
+    DeterminismCase c(std::move(sim));
+    c.tweak = [](Experiment& e) { e.statsEvery(250 * kMsec); };
+    c.expectShardedMatchesSerial();
+}
+
+TEST(ShardedDeterminism, StreamFramesAreByteIdentical)
+{
+    // Stream frames ride the same front-event chain as snapshots, so
+    // the whole stream file (frames and final frame included) is now
+    // deterministic across kernels.
+    DeterminismCase c(webConfig(SystemKind::Segm, 64 * kKiB, 0));
+    const std::string p1 = "/tmp/dtsim_sharded_stream_1.txt";
+    const std::string p4 = "/tmp/dtsim_sharded_stream_4.txt";
+
+    c.tweak = [&](Experiment& e) { e.streamTo(p1, 250 * kMsec); };
+    const std::string d1 = c.dump(1);
+    c.tweak = [&](Experiment& e) { e.streamTo(p4, 250 * kMsec); };
+    const std::string d4 = c.dump(4);
+    EXPECT_EQ(d4, d1);
+
+    const std::string s1 = slurp(p1);
+    ASSERT_NE(s1.find("==> dtsim stats seq=0 "), std::string::npos);
+    EXPECT_EQ(slurp(p4), s1);
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
 }
 
 } // namespace

@@ -41,9 +41,12 @@ TEST(VictimHdc, PinsOnGhostEviction)
     // Fill the ghost (4 blocks); nothing pinned yet.
     mgr.onAccess(0, 4);
     EXPECT_EQ(mgr.pins(), 0u);
-    // A fifth block evicts block 0 from the ghost -> pinned.
+    // A fifth block evicts block 0 from the ghost -> pinned. The pin
+    // command crosses to the disk timeline after commandLatency();
+    // drain the queue to apply it.
     mgr.onAccess(10, 1);
     EXPECT_EQ(mgr.pins(), 1u);
+    r.eq.run();
     EXPECT_EQ(r.pinnedTotal(), 1u);
     EXPECT_TRUE(r.array->controller(0).hdcPinnedBlocks() == 1 ||
                 r.array->controller(1).hdcPinnedBlocks() == 1);
@@ -70,6 +73,9 @@ TEST(VictimHdc, FifoRetirementWhenRegionFull)
     // FIFO retirement.
     for (ArrayBlock b = 0; b < 30; ++b)
         mgr.onAccess(b, 1);
+    // Apply the deferred pin/unpin command stream; the commands land
+    // in issue order, so the regions never transiently overflow.
+    r.eq.run();
     EXPECT_LE(r.pinnedTotal(), 8u);
     EXPECT_GT(mgr.unpins(), 0u);
     EXPECT_GT(mgr.pins(), 8u);
@@ -106,6 +112,7 @@ TEST(VictimHdc, NoHdcBudgetNeverPins)
     VictimHdcManager mgr(*r.array, 2);
     for (ArrayBlock b = 0; b < 20; ++b)
         mgr.onAccess(b, 1);
+    r.eq.run();
     EXPECT_EQ(r.pinnedTotal(), 0u);
     EXPECT_EQ(mgr.pinnedNow(), 0u);
 }
